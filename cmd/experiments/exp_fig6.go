@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probnucleus/internal/pbd"
+)
+
+// runFig6 reproduces Figure 6: average relative error of the statistical
+// approximations against exact DP under controlled conditions on 1000
+// random support vectors per cell (θ = 0.3 as in the paper).
+//
+//	(a) Pr(E_i) ∈ (0, 0.1], c△ ∈ {25,50,100}: Binomial and Poisson beat CLT.
+//	(b) c△ = 50, Pr(E_i) ranges (0, r] for r ∈ {0.1,0.25,0.5,1}: Poisson
+//	    degrades as probabilities grow; Translated Poisson stays robust.
+//	(c) Pr(E_i)'s near-identical (variance gap < 0.1), c△ ∈ {25,50,100}:
+//	    Binomial stays accurate across sizes.
+func runFig6(e env) {
+	const theta = 0.3
+	const trials = 1000
+	rng := rand.New(rand.NewSource(e.seed))
+
+	// relErr computes the paper's relative-error statistic: the difference
+	// between the probabilistic support (the κ value at θ) from DP and from
+	// one approximation, normalised by the DP value.
+	relErr := func(probs []float64, m pbd.Method) float64 {
+		pTri := 0.5 + 0.5*rng.Float64() // triangle existence probability
+		thr := theta / pTri
+		exact := pbd.MaxK(probs, thr)
+		approx := pbd.MaxKWith(probs, thr, m)
+		d := exact - approx
+		if d < 0 {
+			d = -d
+		}
+		den := exact
+		if den < 1 {
+			den = 1
+		}
+		return float64(d) / float64(den)
+	}
+	avg := func(gen func() []float64, m pbd.Method) float64 {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += relErr(gen(), m)
+		}
+		return sum / trials
+	}
+	uniformProbs := func(c int, hi float64) func() []float64 {
+		return func() []float64 {
+			out := make([]float64, c)
+			for i := range out {
+				out[i] = 0.001 + (hi-0.001)*rng.Float64()
+			}
+			return out
+		}
+	}
+
+	fmt.Println("(a) Pr(E_i) in (0,0.1]: relative error vs c")
+	fmt.Printf("%6s %10s %10s %10s\n", "c", "Binomial", "CLT", "Poisson")
+	for _, c := range []int{25, 50, 100} {
+		gen := uniformProbs(c, 0.1)
+		fmt.Printf("%6d %10.4f %10.4f %10.4f\n", c,
+			avg(gen, pbd.MethodBinomial), avg(gen, pbd.MethodCLT), avg(gen, pbd.MethodPoisson))
+	}
+
+	fmt.Println("\n(b) c = 50: relative error vs Pr(E_i) range")
+	fmt.Printf("%6s %10s %12s\n", "range", "Poisson", "TransPoisson")
+	for _, hi := range []float64{0.1, 0.25, 0.5, 1} {
+		gen := uniformProbs(50, hi)
+		fmt.Printf("%6.2f %10.4f %12.4f\n", hi,
+			avg(gen, pbd.MethodPoisson), avg(gen, pbd.MethodTranslatedPoisson))
+	}
+
+	fmt.Println("\n(c) near-identical Pr(E_i) (variance gap < 0.1): Binomial error vs c")
+	fmt.Printf("%6s %10s\n", "c", "Binomial")
+	for _, c := range []int{25, 50, 100} {
+		gen := func() []float64 {
+			base := 0.15 + 0.7*rng.Float64()
+			out := make([]float64, c)
+			for i := range out {
+				p := base + 0.02*(rng.Float64()-0.5)
+				if p <= 0 {
+					p = 0.001
+				}
+				if p > 1 {
+					p = 1
+				}
+				out[i] = p
+			}
+			return out
+		}
+		fmt.Printf("%6d %10.4f\n", c, avg(gen, pbd.MethodBinomial))
+	}
+}

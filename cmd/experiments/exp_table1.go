@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+
+	"probnucleus/internal/dataset"
+)
+
+// runTable1 reproduces Table 1: dataset statistics |V|, |E|, dmax, p̄, |△|.
+func runTable1(e env) {
+	graphs := loadAll(e.scale)
+	fmt.Printf("%-10s %10s %10s %8s %8s %12s\n", "Graph", "|V|", "|E|", "dmax", "p_avg", "|tri|")
+	for _, name := range dataset.Names() {
+		st := graphs[name].ComputeStats()
+		fmt.Printf("%-10s %10d %10d %8d %8.2f %12d\n",
+			name, st.NumVertices, st.NumEdges, st.MaxDegree, st.AvgProb, st.NumTriangles)
+	}
+}

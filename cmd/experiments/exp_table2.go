@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/dataset"
+)
+
+// runTable2 reproduces Table 2: accuracy of AP against DP — the average
+// |ν_AP − ν_DP| over all triangles and the percentage of triangles whose AP
+// score differs at all, for θ = 0.2 and θ = 0.4. The paper reports average
+// errors below 0.06 and error percentages below ~5%.
+func runTable2(e env) {
+	graphs := loadAll(e.scale)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n",
+		"Graph", "AvgErr(0.2)", "AvgErr(0.4)", "%tri(0.2)", "%tri(0.4)")
+	for _, name := range dataset.Names() {
+		pg := graphs[name]
+		var avgErr, pctErr [2]float64
+		for i, theta := range []float64{0.2, 0.4} {
+			dp, err := core.LocalDecompose(pg, theta, core.Options{Mode: core.ModeDP})
+			if err != nil {
+				panic(err)
+			}
+			ap, err := core.LocalDecompose(pg, theta, core.Options{Mode: core.ModeAP})
+			if err != nil {
+				panic(err)
+			}
+			total := len(dp.Nucleusness)
+			if total == 0 {
+				continue
+			}
+			sum, wrong := 0.0, 0
+			for t := range dp.Nucleusness {
+				d := dp.Nucleusness[t] - ap.Nucleusness[t]
+				if d < 0 {
+					d = -d
+				}
+				if d != 0 {
+					wrong++
+				}
+				sum += float64(d)
+			}
+			avgErr[i] = sum / float64(total)
+			pctErr[i] = 100 * float64(wrong) / float64(total)
+		}
+		fmt.Printf("%-10s %12.4f %12.4f %11.2f%% %11.2f%%\n",
+			name, avgErr[0], avgErr[1], pctErr[0], pctErr[1])
+	}
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. 7) on the simulated datasets. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records a
+// paper-vs-measured comparison produced with this tool.
+//
+// Usage:
+//
+//	experiments -exp table1                # dataset statistics
+//	experiments -exp fig4  -scale 0.5      # DP vs AP runtimes over θ
+//	experiments -exp fig5                  # FG vs WG runtimes at θ=0.001
+//	experiments -exp table2                # AP accuracy vs DP
+//	experiments -exp fig6                  # approximation relative errors
+//	experiments -exp table3                # nucleus vs truss vs core quality
+//	experiments -exp fig7                  # PD/PCC/size vs k (flickr)
+//	experiments -exp fig8                  # ℓ vs w vs g quality
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/probgraph"
+)
+
+type env struct {
+	scale   float64 // bulk dataset scale
+	mcScale float64 // scale for the Monte-Carlo-heavy experiments (fig5, fig8)
+	samples int
+	seed    int64
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 all")
+		scale   = flag.Float64("scale", 1, "dataset scale for local-decomposition experiments")
+		mcScale = flag.Float64("mcscale", 0.15, "dataset scale for the sampling-heavy FG/WG experiments")
+		samples = flag.Int("samples", 200, "Monte-Carlo samples (paper: n=200 for ε=δ=0.1)")
+		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
+	)
+	flag.Parse()
+	e := env{scale: *scale, mcScale: *mcScale, samples: *samples, seed: *seed}
+
+	runs := map[string]func(env){
+		"table1": runTable1,
+		"fig4":   runFig4,
+		"fig5":   runFig5,
+		"table2": runTable2,
+		"fig6":   runFig6,
+		"table3": runTable3,
+		"fig7":   runFig7,
+		"fig8":   runFig8,
+	}
+	order := []string{"table1", "fig4", "fig5", "table2", "fig6", "table3", "fig7", "fig8"}
+	if *exp == "all" {
+		for _, name := range order {
+			banner(name)
+			runs[name](e)
+		}
+		return
+	}
+	fn, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want %s or all)\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	banner(*exp)
+	fn(e)
+}
+
+func banner(name string) {
+	fmt.Printf("\n=== %s ===\n", name)
+}
+
+// loadAll generates every simulated dataset at the given scale, reporting
+// generation time on stderr.
+func loadAll(scale float64) map[string]*probgraph.Graph {
+	out := make(map[string]*probgraph.Graph, 6)
+	for _, name := range dataset.Names() {
+		start := time.Now()
+		out[name] = dataset.Generate(dataset.MustLoad(name, dataset.Scale(scale)))
+		fmt.Fprintf(os.Stderr, "# generated %s (scale %g) in %v\n", name, scale, time.Since(start))
+	}
+	return out
+}

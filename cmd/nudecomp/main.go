@@ -1,0 +1,127 @@
+// Command nudecomp runs probabilistic nucleus decomposition on an edge-list
+// file or a named simulated dataset and prints the nuclei it finds.
+//
+// Usage:
+//
+//	nudecomp -input graph.txt -theta 0.3                  # local, exact DP
+//	nudecomp -dataset krogan -theta 0.3 -mode ap          # local, approximations
+//	nudecomp -dataset krogan -theta 0.001 -mode global -k 2
+//	nudecomp -dataset krogan -theta 0.001 -mode weak -k 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	pn "probnucleus"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "probabilistic edge-list file (u v p per line)")
+		name    = flag.String("dataset", "", "named simulated dataset instead of -input")
+		scale   = flag.Float64("scale", 1, "dataset scale for -dataset")
+		theta   = flag.Float64("theta", 0.3, "probability threshold θ")
+		mode    = flag.String("mode", "dp", "dp | ap | global | weak")
+		k       = flag.Int("k", 1, "nucleus level for global/weak modes")
+		samples = flag.Int("samples", 200, "Monte-Carlo samples for global/weak modes")
+		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
+		top     = flag.Int("top", 5, "print at most this many nuclei per level")
+	)
+	flag.Parse()
+
+	var pg *pn.Graph
+	var err error
+	switch {
+	case *input != "":
+		pg, err = pn.ReadEdgeListFile(*input)
+	case *name != "":
+		pg = pn.MustDataset(*name, *scale)
+	default:
+		fmt.Fprintln(os.Stderr, "nudecomp: need -input or -dataset")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := pg.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d edges, dmax %d, p̄ %.3f, %d triangles\n",
+		st.NumVertices, st.NumEdges, st.MaxDegree, st.AvgProb, st.NumTriangles)
+
+	switch *mode {
+	case "dp", "ap":
+		m := pn.ModeDP
+		if *mode == "ap" {
+			m = pn.ModeAP
+		}
+		res, err := pn.LocalDecompose(pg, *theta, pn.Options{Mode: m})
+		if err != nil {
+			fatal(err)
+		}
+		printLocal(res, *top)
+	case "global":
+		nuclei, err := pn.GlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		printProbNuclei("g", nuclei, *k, *theta, *top)
+	case "weak":
+		nuclei, err := pn.WeaklyGlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		printProbNuclei("w", nuclei, *k, *theta, *top)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func printLocal(res *pn.LocalResult, top int) {
+	maxK := res.MaxNucleusness()
+	fmt.Printf("ℓ-NuDecomp: %d triangles, max nucleusness %d\n", len(res.Nucleusness), maxK)
+	// Histogram of nucleusness values.
+	hist := map[int]int{}
+	for _, v := range res.Nucleusness {
+		hist[v]++
+	}
+	keys := make([]int, 0, len(hist))
+	for v := range hist {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	for _, v := range keys {
+		fmt.Printf("  ν=%d: %d triangles\n", v, hist[v])
+	}
+	for k := maxK; k >= 1 && k > maxK-3; k-- {
+		nuclei := res.NucleiForK(k)
+		fmt.Printf("ℓ-(%d,%.3g)-nuclei: %d\n", k, res.Theta, len(nuclei))
+		for i, nuc := range nuclei {
+			if i >= top {
+				fmt.Printf("  … %d more\n", len(nuclei)-top)
+				break
+			}
+			fmt.Printf("  #%d: %d vertices, %d edges, %d triangles\n",
+				i+1, len(nuc.Vertices), len(nuc.Edges), len(nuc.Triangles))
+		}
+	}
+}
+
+func printProbNuclei(tag string, nuclei []pn.ProbNucleus, k int, theta float64, top int) {
+	fmt.Printf("%s-(%d,%.3g)-nuclei: %d\n", tag, k, theta, len(nuclei))
+	for i, nuc := range nuclei {
+		if i >= top {
+			fmt.Printf("  … %d more\n", len(nuclei)-top)
+			break
+		}
+		fmt.Printf("  #%d: %d vertices, %d edges, %d triangles, min Pr̂ %.3f\n",
+			i+1, len(nuc.Vertices), len(nuc.Edges), len(nuc.Triangles), nuc.MinProb)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nudecomp:", err)
+	os.Exit(1)
+}

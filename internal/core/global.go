@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/mc"
+	"probnucleus/internal/probgraph"
+)
+
+// MCOptions configures the Monte-Carlo estimation of the global and
+// weakly-global algorithms. The number of sampled worlds is Samples when
+// positive, otherwise the Hoeffding bound ⌈ln(2/δ)/(2ε²)⌉ from Eps/Delta
+// (Lemma 4).
+type MCOptions struct {
+	Eps     float64
+	Delta   float64
+	Samples int
+	Seed    int64
+	// Local supplies a precomputed exact local decomposition at the same θ
+	// to prune the search space; when nil it is computed internally.
+	Local *LocalResult
+}
+
+func (o MCOptions) sampleCount() int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	eps, delta := o.Eps, o.Delta
+	if eps == 0 {
+		eps = 0.1
+	}
+	if delta == 0 {
+		delta = 0.1
+	}
+	return mc.SampleSize(eps, delta)
+}
+
+// ProbNucleus is one probabilistic (k,θ)-nucleus produced by the global or
+// weakly-global algorithm: the triangles it consists of, the subgraph they
+// span, and the Monte-Carlo estimate of min_△ Pr(X ≥ k).
+type ProbNucleus struct {
+	K         int
+	Theta     float64
+	Triangles []graph.Triangle
+	Vertices  []int32
+	Edges     []graph.Edge
+	// MinProb is the smallest estimated Pr̂(X_{H,△} ≥ k) over the nucleus's
+	// triangles (≥ θ by construction).
+	MinProb float64
+}
+
+// GlobalNuclei implements Algorithm 2: it finds the g-(k,θ)-nuclei of pg.
+// Candidates are grown inside the union C of ℓ-(k,θ)-nuclei as 4-clique
+// closures seeded at each triangle of C, then validated by sampling n
+// possible worlds and requiring Pr̂(X_{H,△,g} ≥ k) ≥ θ for every triangle.
+func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	local := opts.Local
+	if local == nil {
+		var err error
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k = %d", k)
+	}
+	n := opts.sampleCount()
+
+	// C: union of ℓ-(k,θ)-nuclei, with its level-k clique structure.
+	cand := newCandidateSpace(local, k)
+	var out []ProbNucleus
+	seen := make(map[string]bool)
+	for _, seed := range cand.triangles {
+		closure := cand.closure(seed, k)
+		sig := triangleSetSignature(closure)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		h := cand.subgraph(pg, closure)
+		minProb, ok := estimateGlobal(h, closure, k, theta, n, opts.Seed)
+		if !ok {
+			continue
+		}
+		out = append(out, buildProbNucleus(cand.ti, closure, k, theta, minProb))
+	}
+	sortNuclei(out)
+	return out, nil
+}
+
+// candidateSpace is the union C of ℓ-(k,θ)-nuclei viewed as a set of
+// triangles plus the 4-cliques among them whose triangles all reach level k.
+type candidateSpace struct {
+	ti        *graph.TriangleIndex
+	nu        []int
+	triangles []int32 // triangle ids in C
+	// cliques[t] lists, per triangle in C, the level-k cliques it belongs
+	// to, as the 4 triangle ids of each clique.
+	cliques map[int32][][4]int32
+}
+
+func newCandidateSpace(local *LocalResult, k int) *candidateSpace {
+	ti, nu := local.TI, local.Nucleusness
+	cs := &candidateSpace{ti: ti, nu: nu, cliques: make(map[int32][][4]int32)}
+	for t := int32(0); int(t) < ti.Len(); t++ {
+		if nu[t] < k {
+			continue
+		}
+		tri := ti.Tris[t]
+		for _, z := range ti.Comps[t] {
+			if z <= tri.C {
+				continue // enumerate each clique once (z is the max vertex)
+			}
+			ids, ok := cliqueIDsAtLevel(ti, nu, tri, z, k)
+			if !ok {
+				continue
+			}
+			clique := [4]int32{t, ids[0], ids[1], ids[2]}
+			for _, id := range clique {
+				cs.cliques[id] = append(cs.cliques[id], clique)
+			}
+		}
+	}
+	for t := int32(0); int(t) < ti.Len(); t++ {
+		if nu[t] >= k && len(cs.cliques[t]) > 0 {
+			cs.triangles = append(cs.triangles, t)
+		}
+	}
+	return cs
+}
+
+func cliqueIDsAtLevel(ti *graph.TriangleIndex, nu []int, tri graph.Triangle, z int32, k int) ([3]int32, bool) {
+	var ids [3]int32
+	for i, o := range [3]graph.Triangle{
+		graph.MakeTriangle(tri.A, tri.B, z),
+		graph.MakeTriangle(tri.A, tri.C, z),
+		graph.MakeTriangle(tri.B, tri.C, z),
+	} {
+		id, ok := ti.ID(o)
+		if !ok || nu[id] < k {
+			return ids, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// closure grows the candidate of Algorithm 2 lines 5-7: start with the
+// cliques containing the seed, then repeatedly add cliques of C containing
+// any member triangle that has fewer than k cliques inside the candidate.
+func (cs *candidateSpace) closure(seed int32, k int) []int32 {
+	member := map[int32]bool{}
+	cliqueIn := map[[4]int32]bool{}
+	inCliques := map[int32]int{} // cliques inside the candidate per triangle
+	var queue []int32
+
+	addClique := func(cl [4]int32) {
+		if cliqueIn[cl] {
+			return
+		}
+		cliqueIn[cl] = true
+		for _, id := range cl {
+			inCliques[id]++
+			if !member[id] {
+				member[id] = true
+				queue = append(queue, id)
+			}
+		}
+	}
+	for _, cl := range cs.cliques[seed] {
+		addClique(cl)
+	}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if inCliques[t] >= k && k > 0 {
+			continue
+		}
+		// Triangle t needs more support (or k = 0: take all its cliques so
+		// the candidate stays a union of cliques).
+		for _, cl := range cs.cliques[t] {
+			addClique(cl)
+			if k > 0 && inCliques[t] >= k {
+				break
+			}
+		}
+	}
+	out := make([]int32, 0, len(member))
+	for t := range member {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// subgraph extracts the probabilistic subgraph spanned by the triangles.
+func (cs *candidateSpace) subgraph(pg *probgraph.Graph, tris []int32) *probgraph.Graph {
+	es := make(map[graph.Edge]bool)
+	for _, t := range tris {
+		tri := cs.ti.Tris[t]
+		es[graph.Edge{U: tri.A, V: tri.B}] = true
+		es[graph.Edge{U: tri.A, V: tri.C}] = true
+		es[graph.Edge{U: tri.B, V: tri.C}] = true
+	}
+	return pg.EdgeSubgraph(func(u, v int32) bool {
+		return es[graph.Edge{U: u, V: v}.Canon()]
+	})
+}
+
+// estimateGlobal samples n worlds of h and estimates Pr(X_{H,△,g} ≥ k) for
+// every triangle; it reports the minimum estimate and whether all triangles
+// pass θ.
+func estimateGlobal(h *probgraph.Graph, tris []int32, k int, theta float64, n int, seed int64) (float64, bool) {
+	verts := vertexSet(h)
+	triList := h.G.Triangles() // triangles the candidate subgraph can form
+	count := make(map[graph.Triangle]int, len(triList))
+	s := mc.NewSampler(h, seed)
+	for i := 0; i < n; i++ {
+		w := s.Next()
+		if !decomp.IsGlobalNucleusWorld(w, verts, k) {
+			continue
+		}
+		for _, tri := range triList {
+			if w.HasEdge(tri.A, tri.B) && w.HasEdge(tri.A, tri.C) && w.HasEdge(tri.B, tri.C) {
+				count[tri]++
+			}
+		}
+	}
+	minProb := 1.0
+	for _, tri := range triList {
+		p := float64(count[tri]) / float64(n)
+		if p < minProb {
+			minProb = p
+		}
+		if p < theta {
+			return p, false
+		}
+	}
+	return minProb, true
+}
+
+func vertexSet(pg *probgraph.Graph) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, e := range pg.Edges() {
+		for _, v := range []int32{e.U, e.V} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func triangleSetSignature(tris []int32) string {
+	b := make([]byte, 0, 4*len(tris))
+	for _, t := range tris {
+		b = append(b, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(b)
+}
+
+func buildProbNucleus(ti *graph.TriangleIndex, tris []int32, k int, theta, minProb float64) ProbNucleus {
+	nuc := ProbNucleus{K: k, Theta: theta, MinProb: minProb}
+	vs := make(map[int32]bool)
+	es := make(map[graph.Edge]bool)
+	for _, t := range tris {
+		tri := ti.Tris[t]
+		nuc.Triangles = append(nuc.Triangles, tri)
+		vs[tri.A], vs[tri.B], vs[tri.C] = true, true, true
+		es[graph.Edge{U: tri.A, V: tri.B}] = true
+		es[graph.Edge{U: tri.A, V: tri.C}] = true
+		es[graph.Edge{U: tri.B, V: tri.C}] = true
+	}
+	for v := range vs {
+		nuc.Vertices = append(nuc.Vertices, v)
+	}
+	for e := range es {
+		nuc.Edges = append(nuc.Edges, e)
+	}
+	sort.Slice(nuc.Vertices, func(i, j int) bool { return nuc.Vertices[i] < nuc.Vertices[j] })
+	sort.Slice(nuc.Edges, func(i, j int) bool {
+		if nuc.Edges[i].U != nuc.Edges[j].U {
+			return nuc.Edges[i].U < nuc.Edges[j].U
+		}
+		return nuc.Edges[i].V < nuc.Edges[j].V
+	})
+	sort.Slice(nuc.Triangles, func(i, j int) bool {
+		a, b := nuc.Triangles[i], nuc.Triangles[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.C < b.C
+	})
+	return nuc
+}
+
+func sortNuclei(ns []ProbNucleus) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i], ns[j]
+		if len(a.Vertices) != len(b.Vertices) {
+			return len(a.Vertices) > len(b.Vertices)
+		}
+		if len(a.Vertices) == 0 || len(b.Vertices) == 0 {
+			return false
+		}
+		return a.Vertices[0] < b.Vertices[0]
+	})
+}

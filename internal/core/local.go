@@ -1,0 +1,237 @@
+// Package core implements the paper's contribution: nucleus decomposition
+// in probabilistic graphs, in its three semantics.
+//
+//   - Local (ℓ-NuDecomp, Sec. 5): polynomial-time triangle peeling where each
+//     triangle's probabilistic 4-clique support is evaluated by the exact
+//     Poisson-binomial dynamic program (DP) or by the statistical
+//     approximation framework (AP) of Sec. 5.3.
+//   - Global (g-NuDecomp, Algorithm 2): #P-hard; approximated by pruning with
+//     the local decomposition and Monte-Carlo sampling of possible worlds.
+//   - Weakly-global (w-NuDecomp, Algorithm 3): NP-hard; approximated by
+//     per-world deterministic nucleus decomposition over Monte-Carlo samples.
+package core
+
+import (
+	"fmt"
+
+	"probnucleus/internal/bucket"
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/pbd"
+	"probnucleus/internal/probgraph"
+)
+
+// Mode selects the support-evaluation strategy for the local decomposition.
+type Mode int
+
+const (
+	// ModeDP evaluates every support query with the exact dynamic program
+	// (Eq. 7).
+	ModeDP Mode = iota
+	// ModeAP evaluates support queries with the statistical approximation
+	// selected by the Sec. 5.3 rule chain, falling back to DP when no
+	// approximation's applicability condition holds.
+	ModeAP
+)
+
+// Options configures LocalDecompose.
+type Options struct {
+	Mode  Mode
+	Hyper pbd.Hyper // approximation hyperparameters; zero value → pbd.DefaultHyper
+	// MethodCounts, when non-nil, accumulates how many support queries each
+	// approximation method answered (AP instrumentation for the paper's
+	// accuracy discussion).
+	MethodCounts map[pbd.Method]int
+}
+
+// LocalResult is the outcome of ℓ-NuDecomp: the triangle index of the graph
+// and the θ-nucleusness ν(△) of every triangle — the largest k such that △
+// belongs to an ℓ-(k,θ)-nucleus. Triangles whose own existence probability
+// is below θ cannot belong to any nucleus and get ν = −1.
+type LocalResult struct {
+	PG          *probgraph.Graph
+	TI          *graph.TriangleIndex
+	Theta       float64
+	Nucleusness []int
+}
+
+// LocalDecompose runs Algorithm 1 (ℓ-NuDecomp) on pg with threshold θ.
+func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
+	if !(theta > 0 && theta <= 1) {
+		return nil, fmt.Errorf("core: theta = %v outside (0,1]", theta)
+	}
+	if opts.Hyper == (pbd.Hyper{}) {
+		opts.Hyper = pbd.DefaultHyper
+	}
+	ti := graph.NewTriangleIndex(pg.G)
+	ca := decomp.NewCliqueAdjFromIndex(ti)
+	n := ti.Len()
+
+	// Per-triangle existence probability Pr(△) and per-completion clique
+	// probabilities Pr(E_z) = p(u,z)·p(v,z)·p(w,z) (Sec. 5.1).
+	triProb := make([]float64, n)
+	compProb := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		tri := ti.Tris[t]
+		triProb[t] = pg.TriangleProb(tri)
+		zs := ti.Comps[t]
+		ps := make([]float64, len(zs))
+		for i, z := range zs {
+			ps[i] = pg.Prob(tri.A, z) * pg.Prob(tri.B, z) * pg.Prob(tri.C, z)
+		}
+		compProb[t] = ps
+	}
+
+	nu := make([]int, n)
+
+	// Score evaluates max{k : Pr(△)·Pr[ζ ≥ k] ≥ θ} over the live cliques of
+	// triangle t.
+	score := func(t int32) int {
+		probs := aliveProbs(ca, compProb, t)
+		thr := theta / triProb[t]
+		if opts.Mode == ModeAP {
+			k, m := pbd.ApproxMaxK(probs, thr, opts.Hyper)
+			if opts.MethodCounts != nil {
+				opts.MethodCounts[m]++
+			}
+			return k
+		}
+		if opts.MethodCounts != nil {
+			opts.MethodCounts[pbd.MethodDP]++
+		}
+		return pbd.MaxK(probs, thr)
+	}
+
+	// Phase 0: triangles with Pr(△) < θ can belong to no nucleus (even
+	// k = 0 requires the triangle itself to exist with probability ≥ θ).
+	// Remove them up front; their cliques disappear for everyone else.
+	for t := int32(0); int(t) < n; t++ {
+		if triProb[t] < theta {
+			nu[t] = -1
+			ca.RemoveTriangle(t, nil)
+		}
+	}
+
+	// Phase 1: initial κ scores for the surviving triangles.
+	q := bucket.New(n, maxAliveCount(ca))
+	for t := int32(0); int(t) < n; t++ {
+		if nu[t] == -1 {
+			continue
+		}
+		q.Push(t, score(t))
+	}
+
+	// Phase 2: peel (Algorithm 1). Pop a minimum-κ triangle, fix its
+	// nucleusness, and re-score the live triangles that shared a 4-clique
+	// with it.
+	floor := 0
+	affected := make(map[int32]bool)
+	for q.Len() > 0 {
+		t, k, _ := q.Pop()
+		if k > floor {
+			floor = k
+		}
+		nu[t] = floor
+		clear(affected)
+		ca.RemoveTriangle(t, func(o int32) {
+			if q.Key(o) > floor {
+				affected[o] = true
+			}
+		})
+		for o := range affected {
+			if q.Key(o) <= floor {
+				continue
+			}
+			nk := score(o)
+			if nk < floor {
+				nk = floor
+			}
+			if nk < q.Key(o) {
+				q.Update(o, nk)
+			}
+		}
+	}
+	return &LocalResult{PG: pg, TI: ti, Theta: theta, Nucleusness: nu}, nil
+}
+
+func aliveProbs(ca *decomp.CliqueAdj, compProb [][]float64, t int32) []float64 {
+	alive := ca.Alive[t]
+	out := make([]float64, 0, ca.AliveCount[t])
+	for i, ok := range alive {
+		if ok {
+			out = append(out, compProb[t][i])
+		}
+	}
+	return out
+}
+
+func maxAliveCount(ca *decomp.CliqueAdj) int {
+	max := 0
+	for t := 0; t < ca.Len(); t++ {
+		if ca.AliveCount[t] > max {
+			max = ca.AliveCount[t]
+		}
+	}
+	return max
+}
+
+// MaxNucleusness returns the largest ν value in the result (0 for a graph
+// with no qualifying triangles).
+func (r *LocalResult) MaxNucleusness() int {
+	max := 0
+	for _, v := range r.Nucleusness {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// NucleiForK assembles the ℓ-(k,θ)-nuclei: maximal unions of 4-cliques whose
+// triangles all have ν ≥ k, split into 4-clique-connected components.
+func (r *LocalResult) NucleiForK(k int) []decomp.Nucleus {
+	return decomp.KNuclei(r.TI, r.Nucleusness, k)
+}
+
+// InitialKappa computes, without any peeling, the initial κ score of every
+// triangle: max{k : Pr(X_{G,△,ℓ} ≥ k) ≥ θ} over the whole graph (Sec. 5.1).
+// This is the quantity the exact enumeration oracle can validate directly.
+func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.TriangleIndex, []int, error) {
+	if !(theta > 0 && theta <= 1) {
+		return nil, nil, fmt.Errorf("core: theta = %v outside (0,1]", theta)
+	}
+	if opts.Hyper == (pbd.Hyper{}) {
+		opts.Hyper = pbd.DefaultHyper
+	}
+	ti := graph.NewTriangleIndex(pg.G)
+	kappa := make([]int, ti.Len())
+	for t := 0; t < ti.Len(); t++ {
+		tri := ti.Tris[t]
+		pTri := pg.TriangleProb(tri)
+		probs := make([]float64, len(ti.Comps[t]))
+		for i, z := range ti.Comps[t] {
+			probs[i] = pg.Prob(tri.A, z) * pg.Prob(tri.B, z) * pg.Prob(tri.C, z)
+		}
+		thr := theta / pTri
+		if opts.Mode == ModeAP {
+			k, m := pbd.ApproxMaxK(probs, thr, opts.Hyper)
+			kappa[t] = k
+			if opts.MethodCounts != nil {
+				opts.MethodCounts[m]++
+			}
+		} else {
+			kappa[t] = pbd.MaxK(probs, thr)
+		}
+	}
+	return ti, kappa, nil
+}
+
+// NucleusnessOf returns ν(△) for a canonical triangle, or -1 when the
+// triangle is not part of the graph.
+func (r *LocalResult) NucleusnessOf(tri graph.Triangle) int {
+	id, ok := r.TI.ID(tri)
+	if !ok {
+		return -1
+	}
+	return r.Nucleusness[id]
+}

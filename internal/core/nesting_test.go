@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+// TestNucleiNestedAcrossK: the ℓ-(k+1,θ)-nuclei are contained in the
+// ℓ-(k,θ)-nuclei (hierarchy property).
+func TestNucleiNestedAcrossK(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 10; iter++ {
+		pg := randomProbGraph(rng, 14, 0.6)
+		res, err := LocalDecompose(pg, 0.15, Options{Mode: ModeDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < res.MaxNucleusness(); k++ {
+			outer := res.NucleiForK(k)
+			inner := res.NucleiForK(k + 1)
+			outerSets := make([]map[graph.Triangle]bool, len(outer))
+			for i, nuc := range outer {
+				outerSets[i] = make(map[graph.Triangle]bool, len(nuc.Triangles))
+				for _, tri := range nuc.Triangles {
+					outerSets[i][tri] = true
+				}
+			}
+			for _, nuc := range inner {
+				found := false
+				for _, os := range outerSets {
+					all := true
+					for _, tri := range nuc.Triangles {
+						if !os[tri] {
+							all = false
+							break
+						}
+					}
+					if all {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("iter %d: level-%d nucleus not nested in level %d", iter, k+1, k)
+				}
+			}
+		}
+	}
+}
+
+// TestNucleiForKBeyondMaxEmpty: asking past the maximum level is empty, not
+// an error.
+func TestNucleiForKBeyondMaxEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	pg := randomProbGraph(rng, 10, 0.7)
+	res, err := LocalDecompose(pg, 0.2, Options{Mode: ModeDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.NucleiForK(res.MaxNucleusness() + 1); len(got) != 0 {
+		t.Errorf("nuclei beyond max = %d, want 0", len(got))
+	}
+	if got := res.NucleiForK(1000); len(got) != 0 {
+		t.Errorf("nuclei at k=1000 = %d, want 0", len(got))
+	}
+}
+
+// TestEveryTriangleSatisfiesThresholdWithinItsNucleus: the defining
+// condition of an ℓ-(k,θ)-nucleus, re-checked within the nucleus subgraph.
+func TestEveryTriangleSatisfiesThresholdWithinItsNucleus(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	for iter := 0; iter < 8; iter++ {
+		pg := randomProbGraph(rng, 12, 0.65)
+		theta := 0.1 + 0.3*rng.Float64()
+		res, err := LocalDecompose(pg, theta, Options{Mode: ModeDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.MaxNucleusness()
+		if k == 0 {
+			continue
+		}
+		for _, nuc := range res.NucleiForK(k) {
+			in := make(map[int32]bool, len(nuc.Vertices))
+			for _, v := range nuc.Vertices {
+				in[v] = true
+			}
+			sub := pg.VertexSubgraph(in)
+			subRes, err := LocalDecompose(sub, theta, Options{Mode: ModeDP})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every triangle of the nucleus must reach level k inside the
+			// (possibly slightly larger) induced subgraph.
+			for _, tri := range nuc.Triangles {
+				if got := subRes.NucleusnessOf(tri); got < k {
+					t.Fatalf("iter %d: triangle %v has ν=%d < k=%d within its nucleus",
+						iter, tri, got, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/mc"
+	"probnucleus/internal/probgraph"
+	"probnucleus/internal/uf"
+)
+
+// WeaklyGlobalNuclei implements Algorithm 3: it finds the w-(k,θ)-nuclei of
+// pg. Every w-(k,θ)-nucleus is contained in an ℓ-(k,θ)-nucleus, so each
+// local nucleus H is used as a candidate: n possible worlds of H are
+// sampled, a deterministic nucleus decomposition is run on each, and every
+// triangle's global_score counts the worlds in which it belongs to a
+// deterministic k-nucleus. Triangles with score/n ≥ θ are assembled into
+// 4-clique-connected unions.
+func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	local := opts.Local
+	if local == nil {
+		var err error
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k = %d", k)
+	}
+	n := opts.sampleCount()
+
+	var out []ProbNucleus
+	for _, cand := range local.NucleiForK(k) {
+		h := candidateSubgraph(pg, cand)
+		// global_score[△]: number of sampled worlds whose deterministic
+		// nucleus decomposition places △ inside a k-nucleus.
+		score := make(map[graph.Triangle]int, len(cand.Triangles))
+		s := mc.NewSampler(h, opts.Seed)
+		for i := 0; i < n; i++ {
+			w := s.Next()
+			for tri := range decomp.WorldNucleusMembership(w, k) {
+				score[tri]++
+			}
+		}
+		// Qualifying triangles of the candidate.
+		qual := make(map[graph.Triangle]float64)
+		for _, tri := range cand.Triangles {
+			if p := float64(score[tri]) / float64(n); p >= theta {
+				qual[tri] = p
+			}
+		}
+		out = append(out, assembleWeakNuclei(h.G, qual, k, theta)...)
+	}
+	sortNuclei(out)
+	return out, nil
+}
+
+// assembleWeakNuclei groups the qualifying triangles into 4-clique-connected
+// components ("connected union of △'s", Algorithm 3 line 12).
+func assembleWeakNuclei(g *graph.Graph, qual map[graph.Triangle]float64, k int, theta float64) []ProbNucleus {
+	if len(qual) == 0 {
+		return nil
+	}
+	ti := graph.NewTriangleIndex(g)
+	ids := make([]int32, 0, len(qual))
+	inQual := make([]bool, ti.Len())
+	for tri := range qual {
+		if id, ok := ti.ID(tri); ok {
+			ids = append(ids, id)
+			inQual[id] = true
+		}
+	}
+	u := uf.New(ti.Len())
+	for _, t := range ids {
+		tri := ti.Tris[t]
+		for _, z := range ti.Comps[t] {
+			others := [3]graph.Triangle{
+				graph.MakeTriangle(tri.A, tri.B, z),
+				graph.MakeTriangle(tri.A, tri.C, z),
+				graph.MakeTriangle(tri.B, tri.C, z),
+			}
+			ok := true
+			var oids [3]int32
+			for i, o := range others {
+				id, exists := ti.ID(o)
+				if !exists || !inQual[id] {
+					ok = false
+					break
+				}
+				oids[i] = id
+			}
+			if !ok {
+				continue
+			}
+			for _, id := range oids {
+				u.Union(t, id)
+			}
+		}
+	}
+	groups := u.Groups(1, func(t int32) bool { return inQual[t] })
+	out := make([]ProbNucleus, 0, len(groups))
+	for _, grp := range groups {
+		nuc := buildProbNucleus(ti, grp, k, theta, minQualProb(ti, grp, qual))
+		out = append(out, nuc)
+	}
+	return out
+}
+
+func minQualProb(ti *graph.TriangleIndex, grp []int32, qual map[graph.Triangle]float64) float64 {
+	min := 1.0
+	for _, t := range grp {
+		if p := qual[ti.Tris[t]]; p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+func candidateSubgraph(pg *probgraph.Graph, cand decomp.Nucleus) *probgraph.Graph {
+	es := make(map[graph.Edge]bool, len(cand.Edges))
+	for _, e := range cand.Edges {
+		es[e.Canon()] = true
+	}
+	return pg.EdgeSubgraph(func(u, v int32) bool {
+		return es[graph.Edge{U: u, V: v}.Canon()]
+	})
+}

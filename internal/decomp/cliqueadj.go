@@ -1,0 +1,135 @@
+// Package decomp implements the deterministic density decompositions the
+// paper builds on: k-core (Batagelj–Zaveršnik), k-truss (edge peeling), and
+// (3,4)-nucleus decomposition (Sarıyüce et al.), plus the per-possible-world
+// k-nucleus predicates that the global and weakly-global probabilistic
+// algorithms evaluate on Monte-Carlo samples.
+//
+// Throughout this module, supports follow the paper's convention: the
+// s-support of an r-clique is the number of s-cliques containing it, and a
+// k-X requires support ≥ k (so the classical "k-truss" of the literature is
+// the (k−2)-truss here).
+package decomp
+
+import "probnucleus/internal/graph"
+
+// CliqueAdj tracks, for every triangle of a graph, which 4-clique completion
+// vertices are still alive during a peeling computation. Removing a triangle
+// kills all 4-cliques containing it; CliqueAdj performs the bookkeeping in
+// O(1) per (triangle, clique) pair.
+//
+// It is shared by the deterministic nucleus decomposition and by the
+// probabilistic local decomposition in package core.
+type CliqueAdj struct {
+	TI *graph.TriangleIndex
+	// pos[t] maps a completion vertex z of triangle t to its index in
+	// TI.Comps[t].
+	pos []map[int32]int
+	// Alive[t][i] reports whether the 4-clique TI.Tris[t] ∪ {TI.Comps[t][i]}
+	// is still alive.
+	Alive [][]bool
+	// AliveCount[t] is the number of live completions of triangle t (its
+	// current 4-clique support).
+	AliveCount []int
+	// Dead[t] marks triangle t as processed/removed.
+	Dead []bool
+}
+
+// NewCliqueAdj builds the adjacency for all triangles of g.
+func NewCliqueAdj(g *graph.Graph) *CliqueAdj {
+	return NewCliqueAdjFromIndex(graph.NewTriangleIndex(g))
+}
+
+// NewCliqueAdjFromIndex builds the adjacency over an existing triangle
+// index.
+func NewCliqueAdjFromIndex(ti *graph.TriangleIndex) *CliqueAdj {
+	n := ti.Len()
+	ca := &CliqueAdj{
+		TI:         ti,
+		pos:        make([]map[int32]int, n),
+		Alive:      make([][]bool, n),
+		AliveCount: make([]int, n),
+		Dead:       make([]bool, n),
+	}
+	for t := 0; t < n; t++ {
+		zs := ti.Comps[t]
+		ca.pos[t] = make(map[int32]int, len(zs))
+		ca.Alive[t] = make([]bool, len(zs))
+		for i, z := range zs {
+			ca.pos[t][z] = i
+			ca.Alive[t][i] = true
+		}
+		ca.AliveCount[t] = len(zs)
+	}
+	return ca
+}
+
+// Len returns the number of triangles.
+func (ca *CliqueAdj) Len() int { return ca.TI.Len() }
+
+// CliqueTriangles returns the ids of the other three triangles of the
+// 4-clique formed by triangle t and completion vertex z, along with the
+// completion vertex each of them sees for this clique (the vertex of t they
+// do not contain).
+func (ca *CliqueAdj) CliqueTriangles(t int32, z int32) (ids [3]int32, theirZ [3]int32) {
+	tri := ca.TI.Tris[t]
+	others := [3]graph.Triangle{
+		graph.MakeTriangle(tri.A, tri.B, z),
+		graph.MakeTriangle(tri.A, tri.C, z),
+		graph.MakeTriangle(tri.B, tri.C, z),
+	}
+	missing := [3]int32{tri.C, tri.B, tri.A}
+	for i, o := range others {
+		id, ok := ca.TI.ID(o)
+		if !ok {
+			panic("decomp: 4-clique triangle missing from index")
+		}
+		ids[i] = id
+		theirZ[i] = missing[i]
+	}
+	return ids, theirZ
+}
+
+// RemoveCompletion kills the completion entry z of triangle t (the 4-clique
+// t ∪ {z}) if it is still alive, and reports whether it was alive.
+func (ca *CliqueAdj) RemoveCompletion(t int32, z int32) bool {
+	i, ok := ca.pos[t][z]
+	if !ok || !ca.Alive[t][i] {
+		return false
+	}
+	ca.Alive[t][i] = false
+	ca.AliveCount[t]--
+	return true
+}
+
+// RemoveTriangle marks triangle t as dead and removes every 4-clique that
+// contains it, updating the other triangles of each clique. For every
+// affected live triangle it calls onUpdate once (after all removals that
+// processing t causes for that triangle are applied... it may be called
+// multiple times if t shares several cliques with the same triangle; callers
+// re-read AliveCount so repeated calls are harmless).
+func (ca *CliqueAdj) RemoveTriangle(t int32, onUpdate func(other int32)) {
+	if ca.Dead[t] {
+		return
+	}
+	ca.Dead[t] = true
+	zs := ca.TI.Comps[t]
+	for i, z := range zs {
+		if !ca.Alive[t][i] {
+			continue
+		}
+		ca.Alive[t][i] = false
+		ca.AliveCount[t]--
+		ids, theirZ := ca.CliqueTriangles(t, z)
+		for j := 0; j < 3; j++ {
+			o := ids[j]
+			if ca.Dead[o] {
+				// The clique should already have been removed from o when o
+				// died; nothing to do.
+				continue
+			}
+			if ca.RemoveCompletion(o, theirZ[j]) && onUpdate != nil {
+				onUpdate(o)
+			}
+		}
+	}
+}

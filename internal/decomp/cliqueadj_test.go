@@ -1,0 +1,123 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+func TestCliqueAdjK5(t *testing.T) {
+	ca := NewCliqueAdj(completeGraph(5))
+	if ca.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 triangles", ca.Len())
+	}
+	for tr := 0; tr < ca.Len(); tr++ {
+		if ca.AliveCount[tr] != 2 {
+			t.Errorf("triangle %d alive count = %d, want 2 (K5)", tr, ca.AliveCount[tr])
+		}
+	}
+}
+
+func TestCliqueTrianglesMapping(t *testing.T) {
+	ca := NewCliqueAdj(completeGraph(4))
+	// Triangle (0,1,2) with completion 3: others are (0,1,3),(0,2,3),(1,2,3)
+	// completed by 2, 1, 0 respectively.
+	id, ok := ca.TI.ID(graph.Triangle{A: 0, B: 1, C: 2})
+	if !ok {
+		t.Fatal("triangle missing")
+	}
+	ids, theirZ := ca.CliqueTriangles(id, 3)
+	want := map[graph.Triangle]int32{
+		{A: 0, B: 1, C: 3}: 2,
+		{A: 0, B: 2, C: 3}: 1,
+		{A: 1, B: 2, C: 3}: 0,
+	}
+	for i, oid := range ids {
+		tri := ca.TI.Tris[oid]
+		z, exists := want[tri]
+		if !exists {
+			t.Fatalf("unexpected clique triangle %v", tri)
+		}
+		if theirZ[i] != z {
+			t.Errorf("%v: completion vertex %d, want %d", tri, theirZ[i], z)
+		}
+		delete(want, tri)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing clique triangles: %v", want)
+	}
+}
+
+func TestRemoveTriangleCascade(t *testing.T) {
+	// K4: removing one triangle kills the single 4-clique; the other three
+	// triangles each lose their only completion, exactly once.
+	ca := NewCliqueAdj(completeGraph(4))
+	updates := map[int32]int{}
+	ca.RemoveTriangle(0, func(o int32) { updates[o]++ })
+	if len(updates) != 3 {
+		t.Fatalf("%d updated triangles, want 3", len(updates))
+	}
+	for o, n := range updates {
+		if n != 1 {
+			t.Errorf("triangle %d updated %d times, want 1", o, n)
+		}
+		if ca.AliveCount[o] != 0 {
+			t.Errorf("triangle %d alive count = %d, want 0", o, ca.AliveCount[o])
+		}
+	}
+	if !ca.Dead[0] {
+		t.Error("removed triangle not marked dead")
+	}
+	// Removing again is a no-op.
+	ca.RemoveTriangle(0, func(o int32) { t.Error("update after re-removal") })
+}
+
+func TestRemoveCompletionIdempotent(t *testing.T) {
+	ca := NewCliqueAdj(completeGraph(5))
+	id, _ := ca.TI.ID(graph.Triangle{A: 0, B: 1, C: 2})
+	if !ca.RemoveCompletion(id, 3) {
+		t.Error("first removal returned false")
+	}
+	if ca.RemoveCompletion(id, 3) {
+		t.Error("second removal returned true")
+	}
+	if ca.RemoveCompletion(id, 99) {
+		t.Error("removal of non-completion returned true")
+	}
+	if ca.AliveCount[id] != 1 {
+		t.Errorf("alive count = %d, want 1", ca.AliveCount[id])
+	}
+}
+
+// TestRemovalOrderInvariance: the final alive state after removing a set of
+// triangles is independent of removal order.
+func TestRemovalOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		g := randomGraph(rng, 10, 0.6)
+		ti := graph.NewTriangleIndex(g)
+		if ti.Len() < 4 {
+			continue
+		}
+		kill := rng.Perm(ti.Len())[:ti.Len()/2]
+		run := func(order []int) []int {
+			ca := NewCliqueAdjFromIndex(ti)
+			for _, t2 := range order {
+				ca.RemoveTriangle(int32(t2), nil)
+			}
+			return append([]int(nil), ca.AliveCount...)
+		}
+		a := run(kill)
+		rev := make([]int, len(kill))
+		for i, v := range kill {
+			rev[len(kill)-1-i] = v
+		}
+		b := run(rev)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("iter %d: order-dependent alive counts at %d: %d vs %d", iter, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package decomp
+
+import "probnucleus/internal/graph"
+
+// HierarchyNode is one nucleus in the containment forest produced by a
+// decomposition: the k-nuclei at each level k, with every (k+1)-level
+// nucleus pointing at the k-level nucleus that contains it. Sarıyüce et
+// al. use this forest to present dense subgraphs at multiple resolutions;
+// the probabilistic decompositions inherit it through their ν scores.
+type HierarchyNode struct {
+	K        int
+	Nucleus  Nucleus
+	Parent   int   // index into Hierarchy.Nodes; -1 for roots
+	Children []int // indices into Hierarchy.Nodes
+}
+
+// Hierarchy is the containment forest over all levels of a decomposition.
+type Hierarchy struct {
+	Nodes []HierarchyNode
+	Roots []int // indices of the level-kmin nuclei
+}
+
+// BuildHierarchy assembles the nucleus forest from per-triangle scores.
+// Levels run from kmin to the maximum score; nuclei at level k+1 are nested
+// inside the level-k nucleus sharing any triangle (containment follows from
+// ν monotonicity).
+func BuildHierarchy(ti *graph.TriangleIndex, nu []int, kmin int) *Hierarchy {
+	h := &Hierarchy{}
+	maxK := MaxNucleusness(nu)
+	if kmin < 0 {
+		kmin = 0
+	}
+	// triOwner[t] = node index of the deepest-level nucleus seen so far that
+	// contains triangle t; as we walk levels upward, the previous level's
+	// owner is the parent.
+	prevOwner := make(map[graph.Triangle]int)
+	for k := kmin; k <= maxK; k++ {
+		nuclei := KNuclei(ti, nu, k)
+		if len(nuclei) == 0 {
+			break
+		}
+		curOwner := make(map[graph.Triangle]int, len(prevOwner))
+		for _, nuc := range nuclei {
+			idx := len(h.Nodes)
+			node := HierarchyNode{K: k, Nucleus: nuc, Parent: -1}
+			// The parent is the level-(k-1) nucleus containing any of this
+			// nucleus's triangles (they all share the same one).
+			if k > kmin {
+				if p, ok := prevOwner[nuc.Triangles[0]]; ok {
+					node.Parent = p
+				}
+			}
+			h.Nodes = append(h.Nodes, node)
+			if node.Parent >= 0 {
+				h.Nodes[node.Parent].Children = append(h.Nodes[node.Parent].Children, idx)
+			} else {
+				h.Roots = append(h.Roots, idx)
+			}
+			for _, tri := range nuc.Triangles {
+				curOwner[tri] = idx
+			}
+		}
+		prevOwner = curOwner
+	}
+	return h
+}
+
+// Leaves returns the indices of the innermost (deepest, childless) nuclei —
+// the densest regions of the graph.
+func (h *Hierarchy) Leaves() []int {
+	var out []int
+	for i, n := range h.Nodes {
+		if len(n.Children) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of levels on the path from node i up to its
+// root, inclusive.
+func (h *Hierarchy) Depth(i int) int {
+	d := 1
+	for h.Nodes[i].Parent >= 0 {
+		i = h.Nodes[i].Parent
+		d++
+	}
+	return d
+}

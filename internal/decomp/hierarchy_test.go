@@ -1,0 +1,103 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+func TestHierarchyTwoNestedCliques(t *testing.T) {
+	// A K7 with a pendant K4 sharing one triangle-free bridge: the K7 is a
+	// 4-nucleus nested inside lower levels; the K4 is a separate 1-nucleus.
+	b := graph.NewBuilder(11)
+	for u := int32(0); u < 7; u++ {
+		for v := u + 1; v < 7; v++ {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	for u := int32(7); u < 11; u++ {
+		for v := u + 1; v < 11; v++ {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	_ = b.AddEdge(6, 7) // bridge
+	g := b.Build()
+	ti, nu := NucleusNumbers(g)
+	h := BuildHierarchy(ti, nu, 1)
+	if len(h.Roots) != 2 {
+		t.Fatalf("%d roots, want 2", len(h.Roots))
+	}
+	// The K7 root must have a chain of descendants down to level 4.
+	maxDepth := 0
+	for _, leaf := range h.Leaves() {
+		if d := h.Depth(leaf); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 4 { // levels 1,2,3,4 for the K7
+		t.Errorf("max depth = %d, want 4", maxDepth)
+	}
+	// Every child's triangle set is contained in its parent's.
+	for i, n := range h.Nodes {
+		if n.Parent < 0 {
+			continue
+		}
+		parent := h.Nodes[n.Parent]
+		pset := make(map[graph.Triangle]bool, len(parent.Nucleus.Triangles))
+		for _, tri := range parent.Nucleus.Triangles {
+			pset[tri] = true
+		}
+		for _, tri := range n.Nucleus.Triangles {
+			if !pset[tri] {
+				t.Fatalf("node %d: triangle %v not in parent", i, tri)
+			}
+		}
+		if n.K != parent.K+1 {
+			t.Fatalf("node %d: level %d under parent level %d", i, n.K, parent.K)
+		}
+	}
+}
+
+func TestHierarchyRandomContainmentInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 15; iter++ {
+		g := randomGraph(rng, 14, 0.55)
+		ti, nu := NucleusNumbers(g)
+		h := BuildHierarchy(ti, nu, 0)
+		for i, n := range h.Nodes {
+			// Node levels increase along parent links and vertex sets shrink.
+			if n.Parent >= 0 {
+				p := h.Nodes[n.Parent]
+				if len(n.Nucleus.Vertices) > len(p.Nucleus.Vertices) {
+					t.Fatalf("iter %d node %d: child larger than parent", iter, i)
+				}
+			}
+			for _, c := range n.Children {
+				if h.Nodes[c].Parent != i {
+					t.Fatalf("iter %d: broken parent link", iter)
+				}
+			}
+		}
+		// Depth of any leaf equals (leaf level − root level + 1).
+		for _, leaf := range h.Leaves() {
+			root := leaf
+			for h.Nodes[root].Parent >= 0 {
+				root = h.Nodes[root].Parent
+			}
+			want := h.Nodes[leaf].K - h.Nodes[root].K + 1
+			if got := h.Depth(leaf); got != want {
+				t.Fatalf("iter %d: depth %d, want %d", iter, got, want)
+			}
+		}
+	}
+}
+
+func TestHierarchyEmpty(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	ti, nu := NucleusNumbers(g)
+	h := BuildHierarchy(ti, nu, 0)
+	if len(h.Nodes) != 0 || len(h.Roots) != 0 || len(h.Leaves()) != 0 {
+		t.Errorf("non-empty hierarchy for empty graph: %+v", h)
+	}
+}

@@ -1,0 +1,109 @@
+package decomp
+
+import (
+	"probnucleus/internal/graph"
+	"probnucleus/internal/uf"
+)
+
+// IsGlobalNucleusWorld reports whether a possible world qualifies as a
+// deterministic k-nucleus for the global (g) semantics of Definition 4:
+//
+//	1g(G, △, k) = 1  iff  △ is in G and G is a deterministic k-nucleus.
+//
+// Following the paper's own usage (Example 1 counts the world in which
+// vertex 4 hangs off the {1,2,3,5} clique by a single edge, and the
+// reliability reduction of Lemma 2 equates 0-nuclei with connected worlds),
+// "G is a deterministic k-nucleus" is evaluated as:
+//
+//   - G is connected over the fixed vertex set verts (the vertices of the
+//     candidate subgraph H whose worlds are being sampled); and
+//   - every triangle of G is contained in at least k 4-cliques of G; and
+//   - for k ≥ 1, the triangles of G are pairwise 4-clique-connected.
+//
+// For k = 0 the last two conditions are vacuous and the predicate collapses
+// to world connectivity, exactly as Lemma 2 requires.
+func IsGlobalNucleusWorld(world *graph.Graph, verts []int32, k int) bool {
+	if !connectedOver(world, verts) {
+		return false
+	}
+	if k == 0 {
+		return true
+	}
+	ti := graph.NewTriangleIndex(world)
+	if ti.Len() == 0 {
+		// No triangles at all: there is nothing whose support can reach
+		// k ≥ 1, and a k-nucleus must contain triangles.
+		return false
+	}
+	for t := 0; t < ti.Len(); t++ {
+		if len(ti.Comps[t]) < k {
+			return false
+		}
+	}
+	// Triangle 4-clique-connectivity.
+	u := uf.New(ti.Len())
+	for t := 0; t < ti.Len(); t++ {
+		tri := ti.Tris[t]
+		for _, z := range ti.Comps[t] {
+			for _, o := range [3]graph.Triangle{
+				graph.MakeTriangle(tri.A, tri.B, z),
+				graph.MakeTriangle(tri.A, tri.C, z),
+				graph.MakeTriangle(tri.B, tri.C, z),
+			} {
+				id, ok := ti.ID(o)
+				if !ok {
+					return false // cannot happen on a consistent index
+				}
+				u.Union(int32(t), id)
+			}
+		}
+	}
+	root := u.Find(0)
+	for t := 1; t < ti.Len(); t++ {
+		if u.Find(int32(t)) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedOver reports whether all the given vertices lie in a single
+// connected component of world. An empty or singleton vertex set counts as
+// connected.
+func connectedOver(world *graph.Graph, verts []int32) bool {
+	if len(verts) <= 1 {
+		return true
+	}
+	comp, _ := world.ConnectedComponents(true)
+	c0 := comp[verts[0]]
+	for _, v := range verts[1:] {
+		if comp[v] != c0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WorldNucleusMembership returns, for the given world, the set of triangles
+// (as canonical Triangles) whose deterministic nucleusness in the world is
+// at least k — equivalently, the triangles for which some subgraph of the
+// world is a deterministic k-nucleus containing them. This is the predicate
+// 1w(G, △, k) of Definition 4, evaluated for all triangles of the world at
+// once via one deterministic nucleus decomposition.
+func WorldNucleusMembership(world *graph.Graph, k int) map[graph.Triangle]bool {
+	out := make(map[graph.Triangle]bool)
+	if k == 0 {
+		// Every triangle is its own connected 0-nucleus (Lemma 2 semantics).
+		for _, tri := range world.Triangles() {
+			out[tri] = true
+		}
+		return out
+	}
+	ti, nu := NucleusNumbers(world)
+	for t := 0; t < ti.Len(); t++ {
+		if nu[t] >= k && hasLevelKClique(ti, nu, int32(t), k) {
+			out[ti.Tris[t]] = true
+		}
+	}
+	return out
+}

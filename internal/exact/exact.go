@@ -1,0 +1,104 @@
+// Package exact computes the probabilistic nucleus tail probabilities of
+// Definition 4 by exhaustive possible-world enumeration. It is exponential
+// in the number of edges (2^m worlds) and exists as a ground-truth oracle
+// for tests and for the small worked examples of the paper.
+package exact
+
+import (
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+// MaxEdges bounds the graphs the oracle accepts; 2^22 worlds is the largest
+// enumeration that stays comfortably interactive.
+const MaxEdges = 22
+
+// TailProbs holds Pr(X_{G,△,µ} ≥ k) for the three modes of Definition 4.
+type TailProbs struct {
+	Local, Global, Weak float64
+}
+
+// Tail enumerates every possible world of pg and returns the exact tail
+// probabilities of the triangle △ at level k, for all three modes at once.
+// It panics if pg has more than MaxEdges edges.
+func Tail(pg *probgraph.Graph, tri graph.Triangle, k int) TailProbs {
+	edges := pg.Edges()
+	m := len(edges)
+	if m > MaxEdges {
+		panic("exact: graph too large for world enumeration")
+	}
+	verts := vertexList(pg)
+	var out TailProbs
+	for mask := 0; mask < 1<<m; mask++ {
+		p := 1.0
+		b := graph.NewBuilder(pg.NumVertices())
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				p *= e.P
+				_ = b.AddEdge(e.U, e.V)
+			} else {
+				p *= 1 - e.P
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		w := b.Build()
+		if !(w.HasEdge(tri.A, tri.B) && w.HasEdge(tri.A, tri.C) && w.HasEdge(tri.B, tri.C)) {
+			continue // △ not in this world: all three indicators are 0
+		}
+		// Local: support of △ in the world ≥ k.
+		if supportInWorld(w, tri) >= k {
+			out.Local += p
+		}
+		// Global: the world itself is a deterministic k-nucleus.
+		if decomp.IsGlobalNucleusWorld(w, verts, k) {
+			out.Global += p
+		}
+		// Weakly-global: some subgraph of the world is a deterministic
+		// k-nucleus containing △.
+		if decomp.WorldNucleusMembership(w, k)[tri] {
+			out.Weak += p
+		}
+	}
+	return out
+}
+
+// LocalNucleusness returns, for every triangle of pg, the exact largest k
+// with Pr(X_{G,△,ℓ} ≥ k) ≥ θ computed by enumeration — the quantity
+// Algorithm 1 computes with dynamic programming before any peeling. (Note:
+// this is the *initial* κ score of a triangle, not its final nucleusness.)
+func LocalNucleusness(pg *probgraph.Graph, tri graph.Triangle, theta float64) int {
+	edges := pg.Edges()
+	if len(edges) > MaxEdges {
+		panic("exact: graph too large for world enumeration")
+	}
+	k := -1
+	for {
+		if Tail(pg, tri, k+1).Local >= theta {
+			k++
+		} else {
+			return k
+		}
+	}
+}
+
+func supportInWorld(w *graph.Graph, tri graph.Triangle) int {
+	return len(graph.Intersect3Sorted(
+		w.Neighbors(tri.A), w.Neighbors(tri.B), w.Neighbors(tri.C)))
+}
+
+func vertexList(pg *probgraph.Graph) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, e := range pg.Edges() {
+		for _, v := range []int32{e.U, e.V} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

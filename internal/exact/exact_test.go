@@ -1,0 +1,121 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+func TestTailModesOrdered(t *testing.T) {
+	// For any graph, triangle, and k: global ≤ weak ≤ local (a world that is
+	// a k-nucleus contains one; a triangle in a contained k-nucleus has
+	// support ≥ k).
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 10; iter++ {
+		pg := randomProbGraph(rng, 6, 0.7)
+		if pg.NumEdges() > MaxEdges {
+			continue
+		}
+		tris := pg.G.Triangles()
+		if len(tris) == 0 {
+			continue
+		}
+		tri := tris[rng.Intn(len(tris))]
+		for k := 0; k <= 2; k++ {
+			p := Tail(pg, tri, k)
+			if p.Global > p.Weak+1e-12 {
+				t.Fatalf("global %v > weak %v (k=%d)", p.Global, p.Weak, k)
+			}
+			if p.Weak > p.Local+1e-12 {
+				t.Fatalf("weak %v > local %v (k=%d)", p.Weak, p.Local, k)
+			}
+			if p.Local < -1e-12 || p.Local > 1+1e-12 {
+				t.Fatalf("local tail %v out of range", p.Local)
+			}
+		}
+	}
+}
+
+func TestTailK0EqualsTriangleTimesConnectivity(t *testing.T) {
+	// k = 0, local: the tail is exactly Pr(△ exists).
+	pg := fixtures.Fig3aNucleus()
+	tri := graph.MakeTriangle(1, 3, 5)
+	p := Tail(pg, tri, 0)
+	if math.Abs(p.Local-0.5) > 1e-12 {
+		t.Errorf("local k=0 tail = %v, want Pr(△) = 0.5", p.Local)
+	}
+	// Global k=0: △ exists and the world is connected. Here the world
+	// always keeps all prob-1 edges, which already connect all vertices, so
+	// the global tail also equals Pr(△).
+	if math.Abs(p.Global-0.5) > 1e-12 {
+		t.Errorf("global k=0 tail = %v, want 0.5", p.Global)
+	}
+}
+
+func TestTailMonotoneInK(t *testing.T) {
+	pg := fixtures.Fig2aNucleus()
+	tri := graph.MakeTriangle(1, 2, 3)
+	var prev *TailProbs
+	for k := 0; k <= 3; k++ {
+		p := Tail(pg, tri, k)
+		if prev != nil {
+			if p.Local > prev.Local+1e-12 || p.Global > prev.Global+1e-12 || p.Weak > prev.Weak+1e-12 {
+				t.Fatalf("tails not monotone at k=%d: %+v after %+v", k, p, *prev)
+			}
+		}
+		prev = &p
+	}
+}
+
+func TestLocalNucleusnessMatchesHandComputation(t *testing.T) {
+	// Triangle (1,2,3) of the Fig 2a nucleus: Pr(X ≥ 1) = 0.71, Pr(X ≥ 2) =
+	// 0.21 (Example 1 arithmetic).
+	pg := fixtures.Fig2aNucleus()
+	tri := graph.MakeTriangle(1, 2, 3)
+	if got := LocalNucleusness(pg, tri, 0.42); got != 1 {
+		t.Errorf("κ at θ=0.42 = %d, want 1", got)
+	}
+	if got := LocalNucleusness(pg, tri, 0.2); got != 2 {
+		t.Errorf("κ at θ=0.2 = %d, want 2", got)
+	}
+	if got := LocalNucleusness(pg, tri, 0.8); got != 0 {
+		t.Errorf("κ at θ=0.8 = %d, want 0", got)
+	}
+	// A triangle with Pr(△) < θ has κ = −1.
+	low := probgraph.MustNew(3, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.1}, {U: 1, V: 2, P: 0.9}, {U: 0, V: 2, P: 0.9},
+	})
+	if got := LocalNucleusness(low, graph.MakeTriangle(0, 1, 2), 0.5); got != -1 {
+		t.Errorf("κ with Pr(△) < θ = %d, want -1", got)
+	}
+}
+
+func TestTailPanicsOnLargeGraph(t *testing.T) {
+	var es []probgraph.ProbEdge
+	for i := int32(0); i < 30; i++ {
+		es = append(es, probgraph.ProbEdge{U: i, V: i + 1, P: 0.5})
+	}
+	pg := probgraph.MustNew(32, es)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversized graph")
+		}
+	}()
+	Tail(pg, graph.MakeTriangle(0, 1, 2), 1)
+}
+
+func randomProbGraph(rng *rand.Rand, n int, density float64) *probgraph.Graph {
+	var es []probgraph.ProbEdge
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if rng.Float64() < density {
+				es = append(es, probgraph.ProbEdge{U: u, V: v, P: 0.05 + 0.95*rng.Float64()})
+			}
+		}
+	}
+	return probgraph.MustNew(n, es)
+}

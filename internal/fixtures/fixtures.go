@@ -1,0 +1,71 @@
+// Package fixtures provides the running-example graphs from the paper,
+// reconstructed so that every number quoted in Examples 1 and 2 holds:
+//
+//   - the possible world of Figure 1b has probability 0.01152;
+//   - the 4-clique {1,2,3,5} exists with probability 0.5 (Example 1 and
+//     Figure 3a);
+//   - the 4-clique {1,2,3,4} exists with probability 1⁴·0.6·0.7 = 0.42
+//     (Figure 3b);
+//   - Pr(X_{H,△,g} ≥ 1) = 0.06 + 0.21 = 0.27 for △ = (1,3,5) in the
+//     ℓ-(1,0.42)-nucleus H of Figure 2a;
+//   - the K5 with all edge probabilities 0.6 of Figure 3c satisfies
+//     Pr(X_{H,△,w} ≥ 2) = 0.6¹⁰ ≈ 0.006.
+//
+// These graphs anchor the correctness tests of the decomposition packages.
+package fixtures
+
+import "probnucleus/internal/probgraph"
+
+// Fig1 returns the probabilistic graph of Figure 1a. Vertex ids follow the
+// paper (1-based; vertex 0 is unused and isolated).
+func Fig1() *probgraph.Graph {
+	return probgraph.MustNew(8, []probgraph.ProbEdge{
+		{U: 1, V: 2, P: 1}, {U: 1, V: 3, P: 1}, {U: 1, V: 4, P: 1}, {U: 1, V: 5, P: 1},
+		{U: 2, V: 3, P: 1}, {U: 2, V: 5, P: 1},
+		{U: 2, V: 4, P: 0.7}, {U: 3, V: 4, P: 0.6}, {U: 3, V: 5, P: 0.5},
+		{U: 1, V: 7, P: 0.8}, {U: 4, V: 6, P: 0.8}, {U: 6, V: 7, P: 0.8},
+	})
+}
+
+// Fig2aNucleus returns the ℓ-(1,0.42)-nucleus H of Figure 2a: the subgraph
+// of Fig1 induced by vertices {1,2,3,4,5} (nine edges; (4,5) is absent).
+func Fig2aNucleus() *probgraph.Graph {
+	return Fig1().VertexSubgraph(map[int32]bool{1: true, 2: true, 3: true, 4: true, 5: true})
+}
+
+// Fig3aNucleus returns the g-(1,0.42)-nucleus induced by {1,2,3,5}: a
+// 4-clique with five probability-1 edges and p(3,5) = 0.5.
+func Fig3aNucleus() *probgraph.Graph {
+	return Fig1().VertexSubgraph(map[int32]bool{1: true, 2: true, 3: true, 5: true})
+}
+
+// Fig3bNucleus returns the g-(1,0.42)-nucleus induced by {1,2,3,4}: a
+// 4-clique with existence probability 1⁴·0.7·0.6 = 0.42.
+func Fig3bNucleus() *probgraph.Graph {
+	return Fig1().VertexSubgraph(map[int32]bool{1: true, 2: true, 3: true, 4: true})
+}
+
+// Fig3cK5 returns the graph of Figure 3c: a K5 whose ten edges all have
+// probability 0.6. It is an ℓ-(2,0.01)-nucleus but not a w-(2,0.01)-nucleus
+// (Example 2): the only possible world that is a deterministic 2-nucleus is
+// the full K5, with probability 0.6¹⁰ ≈ 0.006.
+func Fig3cK5() *probgraph.Graph {
+	var es []probgraph.ProbEdge
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			es = append(es, probgraph.ProbEdge{U: u, V: v, P: 0.6})
+		}
+	}
+	return probgraph.MustNew(5, es)
+}
+
+// CompleteProbGraph returns K_n with every edge probability p.
+func CompleteProbGraph(n int, p float64) *probgraph.Graph {
+	var es []probgraph.ProbEdge
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			es = append(es, probgraph.ProbEdge{U: u, V: v, P: p})
+		}
+	}
+	return probgraph.MustNew(n, es)
+}

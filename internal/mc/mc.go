@@ -1,0 +1,57 @@
+// Package mc holds the Monte-Carlo sampling machinery for the global and
+// weakly-global decompositions: the Hoeffding sample-size bound (Lemma 4 of
+// the paper) and batched possible-world sampling with deterministic seeds.
+package mc
+
+import (
+	"math"
+	"math/rand"
+
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+// SampleSize returns the number of possible worlds n = ⌈ln(2/δ)/(2ε²)⌉
+// needed so that the empirical estimate of any [0,1]-bounded mean is within
+// ε of its expectation with probability at least 1−δ (Hoeffding, Lemma 4).
+func SampleSize(eps, delta float64) int {
+	if !(eps > 0 && eps <= 1) || !(delta > 0 && delta <= 1) {
+		panic("mc: eps and delta must lie in (0,1]")
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// Sampler draws possible worlds of a probabilistic graph reproducibly.
+type Sampler struct {
+	pg  *probgraph.Graph
+	rng *rand.Rand
+}
+
+// NewSampler creates a sampler over pg seeded with seed.
+func NewSampler(pg *probgraph.Graph, seed int64) *Sampler {
+	return &Sampler{pg: pg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next possible world.
+func (s *Sampler) Next() *graph.Graph { return s.pg.SampleWorld(s.rng) }
+
+// Worlds draws n possible worlds.
+func (s *Sampler) Worlds(n int) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// EstimateMean runs f over n sampled worlds and returns the mean of its
+// [0,1]-bounded return values. With n from SampleSize(ε,δ), the result is
+// an (ε,δ)-approximation of E[f].
+func EstimateMean(pg *probgraph.Graph, n int, seed int64, f func(*graph.Graph) float64) float64 {
+	s := NewSampler(pg, seed)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += f(s.Next())
+	}
+	return sum / float64(n)
+}

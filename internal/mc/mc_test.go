@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+func TestSampleSize(t *testing.T) {
+	// Lemma 4 with ε = δ = 0.1: ⌈ln(20)/0.02⌉ = ⌈149.8⌉ = 150.
+	if got := SampleSize(0.1, 0.1); got != 150 {
+		t.Errorf("SampleSize(0.1,0.1) = %d, want 150", got)
+	}
+	if got := SampleSize(0.05, 0.05); got != int(math.Ceil(math.Log(40)/0.005)) {
+		t.Errorf("SampleSize(0.05,0.05) = %d", got)
+	}
+	// Tighter ε needs more samples.
+	if SampleSize(0.01, 0.1) <= SampleSize(0.1, 0.1) {
+		t.Error("sample size not monotone in ε")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid eps did not panic")
+		}
+	}()
+	SampleSize(0, 0.1)
+}
+
+func TestEstimateMeanEdgeProbability(t *testing.T) {
+	pg := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.35}})
+	n := SampleSize(0.03, 0.01)
+	got := EstimateMean(pg, n, 7, func(w *graph.Graph) float64 {
+		if w.HasEdge(0, 1) {
+			return 1
+		}
+		return 0
+	})
+	if math.Abs(got-0.35) > 0.03 {
+		t.Errorf("estimated edge probability = %v, want 0.35 ± 0.03", got)
+	}
+}
+
+func TestSamplerReproducible(t *testing.T) {
+	pg := probgraph.MustNew(4, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
+	})
+	a := NewSampler(pg, 123).Worlds(20)
+	b := NewSampler(pg, 123).Worlds(20)
+	for i := range a {
+		if a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatalf("world %d differs across identical seeds", i)
+		}
+		for _, e := range a[i].Edges() {
+			if !b[i].HasEdge(e.U, e.V) {
+				t.Fatalf("world %d differs across identical seeds", i)
+			}
+		}
+	}
+	c := NewSampler(pg, 124).Worlds(20)
+	same := true
+	for i := range a {
+		if a[i].NumEdges() != c[i].NumEdges() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 20-world sequences (suspicious)")
+	}
+}
+
+func TestWorldsCount(t *testing.T) {
+	pg := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.5}})
+	if got := len(NewSampler(pg, 1).Worlds(37)); got != 37 {
+		t.Errorf("Worlds(37) = %d worlds", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package metrics implements the cohesiveness metrics the paper uses to
+// compare decompositions: probabilistic density (PD, Eq. 19) and the
+// probabilistic clustering coefficient (PCC, Eq. 20).
+package metrics
+
+import "probnucleus/internal/probgraph"
+
+// PD returns the probabilistic density of a graph: the expected number of
+// edges divided by the number of vertex pairs, over the vertices incident
+// to at least one edge. Graphs with fewer than two such vertices have
+// density 0.
+func PD(pg *probgraph.Graph) float64 {
+	sum := 0.0
+	seen := make(map[int32]bool)
+	for _, e := range pg.Edges() {
+		sum += e.P
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	n := float64(len(seen))
+	if n < 2 {
+		return 0
+	}
+	return sum / (n * (n - 1) / 2)
+}
+
+// PCC returns the probabilistic clustering coefficient:
+//
+//	PCC = 3·Σ_{△uvw} p(u,v)p(v,w)p(u,w) / Σ_{wedges (u;v,w)} p(u,v)p(u,w).
+//
+// A graph with no wedges has PCC 0.
+func PCC(pg *probgraph.Graph) float64 {
+	num := 0.0
+	for _, tri := range pg.G.Triangles() {
+		num += pg.TriangleProb(tri)
+	}
+	den := 0.0
+	for u := int32(0); int(u) < pg.NumVertices(); u++ {
+		ns := pg.G.Neighbors(u)
+		// Σ_{v<w neighbours of u} p(u,v)p(u,w) = (S² − Σp²)/2 with
+		// S = Σ_v p(u,v).
+		s, sq := 0.0, 0.0
+		for _, v := range ns {
+			p := pg.Prob(u, v)
+			s += p
+			sq += p * p
+		}
+		den += (s*s - sq) / 2
+	}
+	if den == 0 {
+		return 0
+	}
+	return 3 * num / den
+}
+
+// Cohesiveness bundles the subgraph statistics reported in Table 3.
+type Cohesiveness struct {
+	NumVertices int
+	NumEdges    int
+	PD          float64
+	PCC         float64
+}
+
+// Measure computes the Table 3 statistics of a subgraph.
+func Measure(pg *probgraph.Graph) Cohesiveness {
+	seen := make(map[int32]bool)
+	for _, e := range pg.Edges() {
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	return Cohesiveness{
+		NumVertices: len(seen),
+		NumEdges:    pg.NumEdges(),
+		PD:          PD(pg),
+		PCC:         PCC(pg),
+	}
+}
+
+// Average averages a set of cohesiveness measurements (used when a level
+// has several connected components; the paper reports component averages).
+func Average(cs []Cohesiveness) Cohesiveness {
+	if len(cs) == 0 {
+		return Cohesiveness{}
+	}
+	var out Cohesiveness
+	var v, e, pd, pcc float64
+	for _, c := range cs {
+		v += float64(c.NumVertices)
+		e += float64(c.NumEdges)
+		pd += c.PD
+		pcc += c.PCC
+	}
+	n := float64(len(cs))
+	out.NumVertices = int(v/n + 0.5)
+	out.NumEdges = int(e/n + 0.5)
+	out.PD = pd / n
+	out.PCC = pcc / n
+	return out
+}

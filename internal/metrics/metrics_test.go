@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/probgraph"
+)
+
+func TestPDCompleteDeterministic(t *testing.T) {
+	// K_n with p=1 has PD exactly 1.
+	for n := 2; n <= 6; n++ {
+		pg := fixtures.CompleteProbGraph(n, 1)
+		if got := PD(pg); math.Abs(got-1) > 1e-12 {
+			t.Errorf("PD(K%d, p=1) = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestPDScalesWithProbability(t *testing.T) {
+	pg := fixtures.CompleteProbGraph(5, 0.4)
+	if got := PD(pg); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("PD(K5, p=0.4) = %v, want 0.4", got)
+	}
+}
+
+func TestPDSparse(t *testing.T) {
+	// A single 0.5-edge between two vertices: PD = 0.5/1.
+	pg := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.5}})
+	if got := PD(pg); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PD = %v, want 0.5", got)
+	}
+	// Isolated vertices don't dilute PD (only incident vertices count).
+	pg2 := probgraph.MustNew(10, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.5}})
+	if got := PD(pg2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PD with isolated vertices = %v, want 0.5", got)
+	}
+	empty := probgraph.MustNew(3, nil)
+	if got := PD(empty); got != 0 {
+		t.Errorf("PD(empty) = %v, want 0", got)
+	}
+}
+
+func TestPCCCompleteDeterministic(t *testing.T) {
+	// Deterministic K_n: every wedge closes, PCC = 1.
+	for n := 3; n <= 6; n++ {
+		pg := fixtures.CompleteProbGraph(n, 1)
+		if got := PCC(pg); math.Abs(got-1) > 1e-12 {
+			t.Errorf("PCC(K%d, p=1) = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestPCCTriangleUniformP(t *testing.T) {
+	// A triangle with probability p everywhere: numerator 3p³, denominator
+	// 3p² → PCC = p.
+	for _, p := range []float64{0.2, 0.5, 0.9} {
+		pg := fixtures.CompleteProbGraph(3, p)
+		if got := PCC(pg); math.Abs(got-p) > 1e-12 {
+			t.Errorf("PCC(triangle, p=%v) = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestPCCStarIsZero(t *testing.T) {
+	// A star has wedges but no triangles: PCC = 0.
+	pg := probgraph.MustNew(4, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.8}, {U: 0, V: 2, P: 0.8}, {U: 0, V: 3, P: 0.8},
+	})
+	if got := PCC(pg); got != 0 {
+		t.Errorf("PCC(star) = %v, want 0", got)
+	}
+	// A single edge has no wedges either.
+	e := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.8}})
+	if got := PCC(e); got != 0 {
+		t.Errorf("PCC(edge) = %v, want 0", got)
+	}
+}
+
+func TestPCCManualWedgeComputation(t *testing.T) {
+	// Path 0-1-2 plus closing edge (0,2): wedges at every vertex.
+	pg := probgraph.MustNew(3, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.6}, {U: 0, V: 2, P: 0.7},
+	})
+	num := 3 * (0.5 * 0.6 * 0.7)
+	den := 0.5*0.7 + 0.5*0.6 + 0.6*0.7
+	want := num / den
+	if got := PCC(pg); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PCC = %v, want %v", got, want)
+	}
+}
+
+func TestMeasureAndAverage(t *testing.T) {
+	a := Measure(fixtures.CompleteProbGraph(4, 0.5))
+	if a.NumVertices != 4 || a.NumEdges != 6 {
+		t.Errorf("Measure = %d/%d, want 4/6", a.NumVertices, a.NumEdges)
+	}
+	if math.Abs(a.PD-0.5) > 1e-12 {
+		t.Errorf("Measure.PD = %v, want 0.5", a.PD)
+	}
+	b := Measure(fixtures.CompleteProbGraph(6, 1))
+	avg := Average([]Cohesiveness{a, b})
+	if avg.NumVertices != 5 {
+		t.Errorf("Average vertices = %d, want 5", avg.NumVertices)
+	}
+	if math.Abs(avg.PD-0.75) > 1e-12 {
+		t.Errorf("Average PD = %v, want 0.75", avg.PD)
+	}
+	if got := Average(nil); got != (Cohesiveness{}) {
+		t.Errorf("Average(nil) = %+v, want zero", got)
+	}
+}
+
+// TestNucleusDenserThanWholeGraph: the Figure 1 graph's dense region
+// {1,2,3,5} has higher PD and PCC than the whole graph — the qualitative
+// claim behind Table 3.
+func TestNucleusDenserThanWholeGraph(t *testing.T) {
+	pg := fixtures.Fig1()
+	whole := Measure(pg)
+	nucleus := Measure(fixtures.Fig3aNucleus())
+	if nucleus.PD <= whole.PD {
+		t.Errorf("nucleus PD %v not above whole-graph PD %v", nucleus.PD, whole.PD)
+	}
+	if nucleus.PCC <= whole.PCC {
+		t.Errorf("nucleus PCC %v not above whole-graph PCC %v", nucleus.PCC, whole.PCC)
+	}
+}

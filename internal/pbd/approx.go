@@ -1,0 +1,276 @@
+package pbd
+
+import "math"
+
+// Method identifies how a tail query was answered.
+type Method int
+
+// Methods, in the order the paper's selection rules consider them.
+const (
+	MethodDP Method = iota
+	MethodCLT
+	MethodPoisson
+	MethodTranslatedPoisson
+	MethodBinomial
+)
+
+// String returns the method name used in experiment reports.
+func (m Method) String() string {
+	switch m {
+	case MethodDP:
+		return "DP"
+	case MethodCLT:
+		return "CLT"
+	case MethodPoisson:
+		return "Poisson"
+	case MethodTranslatedPoisson:
+		return "TranslatedPoisson"
+	case MethodBinomial:
+		return "Binomial"
+	}
+	return "unknown"
+}
+
+// Hyper holds the approximation-selection hyperparameters A, B, C, D of
+// Sec. 5.3.
+type Hyper struct {
+	A int     // use CLT when c△ ≥ A
+	B int     // Poisson requires c△ < B ...
+	C float64 // ... and every Pr(E_i) < C
+	D float64 // Binomial requires variance ratio ≥ D
+}
+
+// DefaultHyper is the tuned setting reported by the paper:
+// A=200, B=100, C=0.25, D=0.9.
+var DefaultHyper = Hyper{A: 200, B: 100, C: 0.25, D: 0.9}
+
+// Choose applies the paper's rule chain (Sec. 5.3 "Summary") to pick the
+// approximation for a support-probability vector:
+//
+//  1. c ≥ A                          → CLT
+//  2. c < B and max p_i < C          → Poisson
+//  3. Σ p_i² > 1                     → Translated Poisson
+//  4. σ²/Var(Binomial(c, µ/c)) ≥ D   → Binomial
+//  5. otherwise                      → DP
+func Choose(probs []float64, h Hyper) Method {
+	c := len(probs)
+	if c == 0 {
+		return MethodDP
+	}
+	if c >= h.A {
+		return MethodCLT
+	}
+	maxP, sumSq := 0.0, 0.0
+	mu, sigma2 := 0.0, 0.0
+	for _, p := range probs {
+		if p > maxP {
+			maxP = p
+		}
+		sumSq += p * p
+		mu += p
+		sigma2 += p * (1 - p)
+	}
+	if c < h.B && maxP < h.C {
+		return MethodPoisson
+	}
+	if sumSq > 1 {
+		return MethodTranslatedPoisson
+	}
+	pBin := mu / float64(c)
+	binVar := float64(c) * pBin * (1 - pBin)
+	if binVar > 0 && sigma2/binVar >= h.D {
+		return MethodBinomial
+	}
+	return MethodDP
+}
+
+// ApproxMaxK answers MaxK(probs, t) with the approximation selected by
+// Choose, reporting which method was used. MethodDP means the exact dynamic
+// program was the fallback.
+func ApproxMaxK(probs []float64, t float64, h Hyper) (int, Method) {
+	m := Choose(probs, h)
+	return MaxKWith(probs, t, m), m
+}
+
+// MaxKWith answers MaxK(probs, t) using the given method.
+func MaxKWith(probs []float64, t float64, m Method) int {
+	if t > 1 {
+		return -1
+	}
+	if t <= 0 {
+		return len(probs)
+	}
+	c := len(probs)
+	mu, sigma2 := MeanVar(probs)
+	switch m {
+	case MethodCLT:
+		return normalMaxK(mu, sigma2, t, c)
+	case MethodPoisson:
+		return poissonMaxK(mu, 0, t, c)
+	case MethodTranslatedPoisson:
+		shift := math.Floor(mu - sigma2) // λ2 = λ − σ²; ζ ≈ ⌊λ2⌋ + Poisson(λ−⌊λ2⌋)
+		return poissonMaxK(mu-shift, int(shift), t, c)
+	case MethodBinomial:
+		return binomialMaxK(c, mu/float64(c), t)
+	default:
+		return MaxK(probs, t)
+	}
+}
+
+// TailWith returns Pr[ζ ≥ k] under the given approximation; MethodDP gives
+// the exact value. It backs the relative-error experiments of Figure 6.
+func TailWith(probs []float64, k int, m Method) float64 {
+	if k <= 0 {
+		return 1
+	}
+	c := len(probs)
+	mu, sigma2 := MeanVar(probs)
+	switch m {
+	case MethodCLT:
+		return NormalTail(mu, sigma2, k)
+	case MethodPoisson:
+		return PoissonTail(mu, k)
+	case MethodTranslatedPoisson:
+		shift := int(math.Floor(mu - sigma2))
+		return PoissonTail(mu-math.Floor(mu-sigma2), k-shift)
+	case MethodBinomial:
+		return BinomialTail(c, mu/float64(c), k)
+	default:
+		return Tail(probs, k)
+	}
+}
+
+// PoissonTail returns Pr[Π_λ ≥ k] for a Poisson variable with rate λ,
+// accumulating the pmf by the stable recursion of Eq. 10.
+func PoissonTail(lambda float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	pmf := math.Exp(-lambda)
+	cdf := pmf
+	for j := 1; j < k; j++ {
+		pmf *= lambda / float64(j)
+		cdf += pmf
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// poissonMaxK returns max k ∈ [0,c] with Pr[shift + Π_λ ≥ k] ≥ t, scanning
+// the Poisson cdf once (O(c)).
+func poissonMaxK(lambda float64, shift int, t float64, c int) int {
+	// tail(k) = 1 for k ≤ shift.
+	ans := shift
+	if ans > c {
+		return c
+	}
+	if ans < 0 {
+		ans = 0
+	}
+	pmf := math.Exp(-lambda)
+	cdf := pmf
+	for k := shift + 1; k <= c; k++ {
+		// tail(k) = Pr[Π ≥ k-shift] = 1 − Pr[Π ≤ k-shift-1] = 1 − cdf so far.
+		if 1-cdf >= t {
+			ans = k
+		} else {
+			break
+		}
+		j := k - shift
+		pmf *= lambda / float64(j)
+		cdf += pmf
+	}
+	return ans
+}
+
+// NormalTail returns Pr[ζ ≥ k] under the Lyapunov CLT approximation with a
+// half-unit continuity correction.
+func NormalTail(mu, sigma2 float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if sigma2 <= 0 {
+		if float64(k) <= mu+0.5 {
+			return 1
+		}
+		return 0
+	}
+	z := (float64(k) - 0.5 - mu) / math.Sqrt(sigma2)
+	return 1 - stdNormalCDF(z)
+}
+
+// normalMaxK solves 1−Φ((k−0.5−µ)/σ) ≥ t in closed form: k ≤ µ+0.5+σ·Φ⁻¹(1−t).
+func normalMaxK(mu, sigma2, t float64, c int) int {
+	if sigma2 <= 0 {
+		k := int(math.Floor(mu + 0.5))
+		return clampK(k, c)
+	}
+	z := stdNormalQuantile(1 - t)
+	k := int(math.Floor(mu + 0.5 + math.Sqrt(sigma2)*z))
+	return clampK(k, c)
+}
+
+// BinomialTail returns Pr[Bin(n,p) ≥ k] using the pmf recursion of Eq. 15.
+func BinomialTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	pmf := math.Pow(1-p, float64(n))
+	cdf := pmf
+	for j := 1; j < k; j++ {
+		pmf *= (float64(n-j+1) * p) / (float64(j) * (1 - p))
+		cdf += pmf
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// binomialMaxK returns max k ∈ [0,n] with Pr[Bin(n,p) ≥ k] ≥ t in one cdf
+// scan.
+func binomialMaxK(n int, p float64, t float64) int {
+	if p >= 1 {
+		return n
+	}
+	if p <= 0 {
+		return 0
+	}
+	pmf := math.Pow(1-p, float64(n))
+	cdf := pmf
+	ans := 0
+	for k := 1; k <= n; k++ {
+		if 1-cdf >= t {
+			ans = k
+		} else {
+			break
+		}
+		pmf *= (float64(n-k+1) * p) / (float64(k) * (1 - p))
+		cdf += pmf
+	}
+	return ans
+}
+
+func clampK(k, c int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > c {
+		return c
+	}
+	return k
+}

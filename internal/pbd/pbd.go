@@ -1,0 +1,147 @@
+// Package pbd implements the Poisson-binomial distribution machinery at the
+// heart of the paper's local nucleus decomposition: given independent
+// Bernoulli variables E_1..E_c with success probabilities p_i, the support
+// count ζ = Σ E_i follows a Poisson-binomial distribution, and the
+// decomposition repeatedly needs
+//
+//	MaxK(p, t) = max { k : Pr[ζ ≥ k] ≥ t }.
+//
+// The exact method is the dynamic program of Eq. 7 in the paper, truncated
+// adaptively so that computing MaxK costs O(c·k*) rather than O(c²).
+// Package pbd also provides the paper's four statistical approximations
+// (Sec. 5.3) — Poisson (Le Cam), Translated Poisson (Röllin), Normal
+// (Lyapunov CLT), and Binomial — and the hyperparameter-driven selector
+// that chooses among them with DP as fallback.
+package pbd
+
+import "math"
+
+// MaxK returns the largest k ≥ 0 such that Pr[ζ ≥ k] ≥ t, where ζ is the
+// Poisson-binomial sum of the given Bernoulli probabilities, computed
+// exactly by dynamic programming. Since Pr[ζ ≥ 0] = 1, the result is ≥ 0
+// whenever t ≤ 1; for t > 1 it returns -1. The result never exceeds
+// len(probs).
+func MaxK(probs []float64, t float64) int {
+	if t > 1 {
+		return -1
+	}
+	if t <= 0 {
+		return len(probs)
+	}
+	if len(probs) == 0 {
+		return 0 // Pr[ζ ≥ 0] = 1 ≥ t
+	}
+	// tail(k) is non-increasing in k, so max k with tail(k) ≥ t is found by
+	// accumulating the pmf from below: tail(k) = 1 - Σ_{j<k} Pr[ζ = j].
+	// We only ever need pmf entries below the answer, so we truncate the DP
+	// at an adaptively doubled bound K.
+	c := len(probs)
+	k := initialBound(probs, t)
+	for {
+		if k > c {
+			k = c
+		}
+		ans, exceeded := maxKTruncated(probs, t, k)
+		if !exceeded || k == c {
+			return ans
+		}
+		k *= 2
+	}
+}
+
+// initialBound guesses a truncation bound a little above the expected value;
+// Chernoff-style concentration makes the answer land below µ + O(√µ·log(1/t))
+// with overwhelming probability, and maxKTruncated detects undershoot.
+func initialBound(probs []float64, t float64) int {
+	mu := 0.0
+	for _, p := range probs {
+		mu += p
+	}
+	slack := math.Sqrt(2*mu*math.Log(1/t)) + math.Log(1/t)
+	b := int(mu+slack) + 4
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// maxKTruncated runs the Poisson-binomial DP keeping only pmf entries
+// f[0..bound-1] and returns the largest k ≤ bound with tail(k) ≥ t.
+// exceeded reports that tail(bound) ≥ t too, i.e. the true answer may be
+// larger than bound and the caller must retry with a bigger bound.
+func maxKTruncated(probs []float64, t float64, bound int) (ans int, exceeded bool) {
+	f := make([]float64, bound) // f[j] = Pr[ζ = j] over processed prefix
+	f[0] = 1
+	hi := 0 // highest index that can be non-zero
+	for _, p := range probs {
+		if hi < bound-1 {
+			hi++
+		}
+		for j := hi; j >= 1; j-- {
+			f[j] = f[j]*(1-p) + f[j-1]*p
+		}
+		f[0] *= 1 - p
+	}
+	// tail(k) = 1 - prefix(k-1); find max k ≤ bound with tail ≥ t.
+	prefix := 0.0
+	ans = 0
+	for k := 1; k <= bound; k++ {
+		prefix += f[k-1]
+		// Guard against floating-point drift pushing prefix past 1.
+		tail := 1 - prefix
+		if tail >= t {
+			ans = k
+		} else {
+			return ans, false
+		}
+	}
+	return ans, true
+}
+
+// Tail returns Pr[ζ ≥ k] exactly via the full DP. Intended for tests and
+// for small inputs; O(c²) in the worst case.
+func Tail(probs []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	c := len(probs)
+	if k > c {
+		return 0
+	}
+	f := make([]float64, c+1)
+	f[0] = 1
+	for i, p := range probs {
+		for j := i + 1; j >= 1; j-- {
+			f[j] = f[j]*(1-p) + f[j-1]*p
+		}
+		f[0] *= 1 - p
+	}
+	tail := 0.0
+	for j := k; j <= c; j++ {
+		tail += f[j]
+	}
+	return tail
+}
+
+// PMF returns the full probability mass function Pr[ζ = j] for j = 0..c.
+func PMF(probs []float64) []float64 {
+	c := len(probs)
+	f := make([]float64, c+1)
+	f[0] = 1
+	for i, p := range probs {
+		for j := i + 1; j >= 1; j-- {
+			f[j] = f[j]*(1-p) + f[j-1]*p
+		}
+		f[0] *= 1 - p
+	}
+	return f
+}
+
+// MeanVar returns the mean µ = Σ p_i and variance σ² = Σ p_i(1-p_i) of ζ.
+func MeanVar(probs []float64) (mu, sigma2 float64) {
+	for _, p := range probs {
+		mu += p
+		sigma2 += p * (1 - p)
+	}
+	return mu, sigma2
+}

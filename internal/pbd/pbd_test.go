@@ -1,0 +1,440 @@
+package pbd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteTail computes Pr[ζ ≥ k] by enumerating all 2^c outcomes; usable for
+// c ≤ ~16.
+func bruteTail(probs []float64, k int) float64 {
+	c := len(probs)
+	total := 0.0
+	for mask := 0; mask < 1<<c; mask++ {
+		p := 1.0
+		cnt := 0
+		for i := 0; i < c; i++ {
+			if mask&(1<<i) != 0 {
+				p *= probs[i]
+				cnt++
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		if cnt >= k {
+			total += p
+		}
+	}
+	return total
+}
+
+func randProbs(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*0.999 + 0.001
+	}
+	return out
+}
+
+func TestTailMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		c := 1 + rng.Intn(10)
+		probs := randProbs(rng, c)
+		for k := 0; k <= c+1; k++ {
+			want := bruteTail(probs, k)
+			got := Tail(probs, k)
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("Tail(%v, %d) = %v, want %v", probs, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := randProbs(rng, 1+rng.Intn(30))
+		pmf := PMF(probs)
+		sum := 0.0
+		for _, p := range pmf {
+			if p < -1e-15 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTailMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := randProbs(rng, 1+rng.Intn(20))
+		prev := 1.0
+		for k := 0; k <= len(probs)+1; k++ {
+			cur := Tail(probs, k)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxKDefinition checks the defining property of MaxK: Tail(k) ≥ t and
+// Tail(k+1) < t.
+func TestMaxKDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		c := 1 + rng.Intn(40)
+		probs := randProbs(rng, c)
+		thr := rng.Float64()
+		k := MaxK(probs, thr)
+		if k < 0 || k > c {
+			t.Fatalf("MaxK out of range: %d (c=%d)", k, c)
+		}
+		if got := Tail(probs, k); got < thr {
+			t.Fatalf("Tail(probs,%d) = %v < t = %v", k, got, thr)
+		}
+		if k < c {
+			if got := Tail(probs, k+1); got >= thr {
+				t.Fatalf("Tail(probs,%d) = %v ≥ t = %v, MaxK not maximal", k+1, got, thr)
+			}
+		}
+	}
+}
+
+func TestMaxKEdgeCases(t *testing.T) {
+	if got := MaxK(nil, 0.5); got != 0 {
+		t.Errorf("MaxK(nil, 0.5) = %d, want 0", got)
+	}
+	if got := MaxK([]float64{0.5}, 1.5); got != -1 {
+		t.Errorf("MaxK(t>1) = %d, want -1", got)
+	}
+	if got := MaxK([]float64{0.5, 0.5}, 0); got != 2 {
+		t.Errorf("MaxK(t=0) = %d, want 2", got)
+	}
+	// All-ones: ζ = c deterministically.
+	ones := []float64{1, 1, 1, 1}
+	if got := MaxK(ones, 0.999); got != 4 {
+		t.Errorf("MaxK(all 1s) = %d, want 4", got)
+	}
+	if got := MaxK(ones, 1); got != 4 {
+		t.Errorf("MaxK(all 1s, t=1) = %d, want 4", got)
+	}
+	// Tiny probabilities: only k=0 reachable at high threshold.
+	if got := MaxK([]float64{0.01, 0.01}, 0.9); got != 0 {
+		t.Errorf("MaxK(tiny probs, 0.9) = %d, want 0", got)
+	}
+}
+
+// TestMaxKTruncationAgainstFullDP drives the adaptive truncation through
+// regimes where the initial bound is too small.
+func TestMaxKTruncationAgainstFullDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 100; iter++ {
+		c := 30 + rng.Intn(120)
+		probs := make([]float64, c)
+		for i := range probs {
+			probs[i] = 0.85 + 0.15*rng.Float64() // high probs → answer near c
+		}
+		thr := math.Pow(10, -1-3*rng.Float64())
+		got := MaxK(probs, thr)
+		// Naive reference: scan k with the full-DP Tail.
+		want := 0
+		for k := 1; k <= c; k++ {
+			if Tail(probs, k) >= thr {
+				want = k
+			} else {
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("c=%d t=%v: MaxK = %d, want %d", c, thr, got, want)
+		}
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	mu, s2 := MeanVar([]float64{0.5, 1, 0.25})
+	if math.Abs(mu-1.75) > 1e-12 {
+		t.Errorf("mu = %v, want 1.75", mu)
+	}
+	want := 0.25 + 0 + 0.1875
+	if math.Abs(s2-want) > 1e-12 {
+		t.Errorf("sigma2 = %v, want %v", s2, want)
+	}
+}
+
+func TestPoissonTailRecursionMatchesDirectSum(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 5, 20} {
+		for k := 0; k <= 40; k++ {
+			got := PoissonTail(lambda, k)
+			// Direct: 1 - Σ_{j<k} e^-λ λ^j / j!
+			sum := 0.0
+			term := math.Exp(-lambda)
+			for j := 0; j < k; j++ {
+				if j > 0 {
+					term *= lambda / float64(j)
+				}
+				sum += term
+			}
+			want := 1 - sum
+			if want < 0 {
+				want = 0
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("PoissonTail(%v,%d) = %v, want %v", lambda, k, got, want)
+			}
+		}
+	}
+	if got := PoissonTail(5, 0); got != 1 {
+		t.Errorf("PoissonTail(5,0) = %v, want 1", got)
+	}
+	if got := PoissonTail(0, 3); got != 0 {
+		t.Errorf("PoissonTail(0,3) = %v, want 0", got)
+	}
+}
+
+func TestBinomialTailAgainstExactDP(t *testing.T) {
+	// For identical probabilities the Poisson binomial IS the binomial.
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(40)
+		p := rng.Float64()*0.98 + 0.01
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = p
+		}
+		for k := 0; k <= n; k++ {
+			got := BinomialTail(n, p, k)
+			want := Tail(probs, k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("BinomialTail(%d,%v,%d) = %v, want %v", n, p, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTail(5, 1, 5); got != 1 {
+		t.Errorf("p=1 tail = %v, want 1", got)
+	}
+	if got := BinomialTail(5, 0, 1); got != 0 {
+		t.Errorf("p=0 tail = %v, want 0", got)
+	}
+	if got := BinomialTail(5, 0.5, 6); got != 0 {
+		t.Errorf("k>n tail = %v, want 0", got)
+	}
+}
+
+func TestNormalQuantileInverse(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-4, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1 - 1e-6} {
+		x := stdNormalQuantile(p)
+		back := stdNormalCDF(x)
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+	if !math.IsInf(stdNormalQuantile(0), -1) || !math.IsInf(stdNormalQuantile(1), 1) {
+		t.Error("quantile boundaries not ±Inf")
+	}
+	if got := stdNormalQuantile(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("Φ⁻¹(0.5) = %v, want 0", got)
+	}
+}
+
+func TestNormalTailKnownValues(t *testing.T) {
+	// ζ with µ=10, σ²=4: Pr[ζ ≥ 10] ≈ 1-Φ(-0.25) ≈ 0.599 (with continuity
+	// correction).
+	got := NormalTail(10, 4, 10)
+	want := 1 - stdNormalCDF((10-0.5-10)/2.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalTail = %v, want %v", got, want)
+	}
+	if got := NormalTail(10, 4, 0); got != 1 {
+		t.Errorf("k=0 tail = %v, want 1", got)
+	}
+	if got := NormalTail(3, 0, 2); got != 1 {
+		t.Errorf("σ=0 below mean = %v, want 1", got)
+	}
+	if got := NormalTail(3, 0, 9); got != 0 {
+		t.Errorf("σ=0 above mean = %v, want 0", got)
+	}
+}
+
+// TestApproximationAccuracy verifies each approximation in its favourable
+// regime (the conditions of Sec. 5.3) against the exact DP.
+func TestApproximationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+
+	check := func(name string, probs []float64, m Method, tol float64) {
+		t.Helper()
+		mu, _ := MeanVar(probs)
+		for _, k := range []int{int(mu * 0.5), int(mu), int(mu*1.5) + 1} {
+			got := TailWith(probs, k, m)
+			want := Tail(probs, k)
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: |tail(%d) error| = %v > %v (exact %v, approx %v)",
+					name, k, math.Abs(got-want), tol, want, got)
+			}
+		}
+	}
+
+	// Poisson: small c, small probabilities (Le Cam bound 2Σp² is small).
+	for i := 0; i < 20; i++ {
+		probs := make([]float64, 30+rng.Intn(50))
+		for j := range probs {
+			probs[j] = rng.Float64() * 0.08
+		}
+		check("poisson", probs, MethodPoisson, 0.02)
+	}
+	// Translated Poisson: moderate probabilities.
+	for i := 0; i < 20; i++ {
+		probs := make([]float64, 50)
+		for j := range probs {
+			probs[j] = 0.2 + 0.6*rng.Float64()
+		}
+		check("translated-poisson", probs, MethodTranslatedPoisson, 0.06)
+	}
+	// CLT: large c.
+	for i := 0; i < 10; i++ {
+		probs := make([]float64, 300)
+		for j := range probs {
+			probs[j] = 0.1 + 0.8*rng.Float64()
+		}
+		check("clt", probs, MethodCLT, 0.03)
+	}
+	// Binomial: near-identical probabilities.
+	for i := 0; i < 20; i++ {
+		base := 0.2 + 0.6*rng.Float64()
+		probs := make([]float64, 60)
+		for j := range probs {
+			probs[j] = base + 0.02*(rng.Float64()-0.5)
+		}
+		check("binomial", probs, MethodBinomial, 0.02)
+	}
+}
+
+// TestApproxMaxKCloseToExact: the selected approximation should give MaxK
+// within 1-2 of the exact answer in realistic regimes.
+func TestApproxMaxKCloseToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	worst := 0
+	for iter := 0; iter < 300; iter++ {
+		c := 5 + rng.Intn(300)
+		probs := make([]float64, c)
+		for j := range probs {
+			probs[j] = rng.Float64()
+		}
+		thr := 0.05 + 0.9*rng.Float64()
+		exact := MaxK(probs, thr)
+		got, _ := ApproxMaxK(probs, thr, DefaultHyper)
+		diff := got - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 3 {
+		t.Errorf("worst |ApproxMaxK - MaxK| = %d, want ≤ 3", worst)
+	}
+}
+
+func TestChooseRules(t *testing.T) {
+	h := DefaultHyper
+	many := make([]float64, 250)
+	for i := range many {
+		many[i] = 0.5
+	}
+	if m := Choose(many, h); m != MethodCLT {
+		t.Errorf("c ≥ A chose %v, want CLT", m)
+	}
+	small := []float64{0.1, 0.05, 0.2}
+	if m := Choose(small, h); m != MethodPoisson {
+		t.Errorf("small probs chose %v, want Poisson", m)
+	}
+	// c < B but a large probability, Σp² > 1 → Translated Poisson.
+	big := []float64{0.9, 0.9, 0.9, 0.9}
+	if m := Choose(big, h); m != MethodTranslatedPoisson {
+		t.Errorf("Σp²>1 chose %v, want TranslatedPoisson", m)
+	}
+	// Identical moderate probs with Σp² ≤ 1: variance ratio = 1 → Binomial.
+	ident := []float64{0.45, 0.45, 0.45, 0.45}
+	if m := Choose(ident, h); m != MethodBinomial {
+		t.Errorf("identical probs chose %v, want Binomial", m)
+	}
+	// Wildly heterogeneous probabilities with Σp²≤1, ratio < D → DP.
+	hetero := []float64{0.99, 0.3, 0.01}
+	if m := Choose(hetero, h); m == MethodBinomial {
+		t.Errorf("heterogeneous probs chose Binomial")
+	}
+	if m := Choose(nil, h); m != MethodDP {
+		t.Errorf("empty chose %v, want DP", m)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		MethodDP: "DP", MethodCLT: "CLT", MethodPoisson: "Poisson",
+		MethodTranslatedPoisson: "TranslatedPoisson", MethodBinomial: "Binomial",
+		Method(99): "unknown",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// TestMaxKWithTrivialThresholds: every method must respect t ≤ 0 and t > 1.
+func TestMaxKWithTrivialThresholds(t *testing.T) {
+	probs := []float64{0.5, 0.5, 0.5}
+	for _, m := range []Method{MethodDP, MethodCLT, MethodPoisson, MethodTranslatedPoisson, MethodBinomial} {
+		if got := MaxKWith(probs, 1.5, m); got != -1 {
+			t.Errorf("%v: MaxKWith(t>1) = %d, want -1", m, got)
+		}
+		if got := MaxKWith(probs, 0, m); got != 3 {
+			t.Errorf("%v: MaxKWith(t=0) = %d, want 3", m, got)
+		}
+	}
+}
+
+func TestLeCamBoundHolds(t *testing.T) {
+	// Le Cam: Σ_k |Pr[ζ=k] − Poisson_λ(k)| < 2 Σ p_i².
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 30; iter++ {
+		c := 10 + rng.Intn(40)
+		probs := make([]float64, c)
+		sumSq := 0.0
+		for j := range probs {
+			probs[j] = rng.Float64() * 0.3
+			sumSq += probs[j] * probs[j]
+		}
+		mu, _ := MeanVar(probs)
+		pmf := PMF(probs)
+		tv := 0.0
+		pois := math.Exp(-mu)
+		for k := 0; k <= c; k++ {
+			if k > 0 {
+				pois *= mu / float64(k)
+			}
+			tv += math.Abs(pmf[k] - pois)
+		}
+		if tv >= 2*sumSq+1e-9 {
+			t.Errorf("Le Cam bound violated: tv=%v, bound=%v", tv, 2*sumSq)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package probcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/pbd"
+	"probnucleus/internal/probgraph"
+)
+
+func TestValidatesEta(t *testing.T) {
+	pg := fixtures.Fig1()
+	for _, bad := range []float64{0, -1, 1.01} {
+		if _, err := Decompose(pg, bad); err == nil {
+			t.Errorf("eta=%v accepted", bad)
+		}
+	}
+}
+
+// TestDeterministicMatchesClassicCore: with all probabilities 1 the
+// (k,η)-core equals the deterministic k-core for any η.
+func TestDeterministicMatchesClassicCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 20; iter++ {
+		n := 15
+		var es []probgraph.ProbEdge
+		for u := int32(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				if rng.Float64() < 0.3 {
+					es = append(es, probgraph.ProbEdge{U: u, V: v, P: 1})
+				}
+			}
+		}
+		pg := probgraph.MustNew(n, es)
+		for _, eta := range []float64{0.3, 0.9, 1} {
+			res, err := Decompose(pg, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := decomp.CoreNumbers(pg.G)
+			for v := range want {
+				if res.Cores[v] != want[v] {
+					t.Fatalf("iter %d η=%v: core(%d) = %d, want %d",
+						iter, eta, v, res.Cores[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEtaDegreeSemantics: a vertex with three 0.5-edges has
+// Pr[deg ≥ 1] = 0.875, Pr[deg ≥ 2] = 0.5, Pr[deg ≥ 3] = 0.125.
+func TestEtaDegreeSemantics(t *testing.T) {
+	star := probgraph.MustNew(4, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.5}, {U: 0, V: 3, P: 0.5},
+	})
+	cases := []struct {
+		eta  float64
+		want int // η-core number of the hub (leaves cap it at their level)
+	}{
+		{0.9, 0}, // hub: Pr[deg≥1] = 0.875 < 0.9 → η-degree 0
+		{0.8, 0}, // leaves have Pr[deg≥1] = 0.5 < 0.8: they peel at 0 and drag the hub down
+		{0.4, 1}, // leaves qualify at k=1 (0.5 ≥ 0.4), capping the core level at 1
+	}
+	for _, c := range cases {
+		res, err := Decompose(star, c.eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cores[0] != c.want {
+			t.Errorf("η=%v: core(hub) = %d, want %d", c.eta, res.Cores[0], c.want)
+		}
+	}
+	// Direct η-degree sanity via pbd.
+	if k := pbd.MaxK([]float64{0.5, 0.5, 0.5}, 0.5); k != 2 {
+		t.Errorf("MaxK(3×0.5, 0.5) = %d, want 2", k)
+	}
+}
+
+func TestMaxCoreAndSubgraphs(t *testing.T) {
+	pg := fixtures.CompleteProbGraph(5, 0.9)
+	res, err := Decompose(pg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCore() < 3 {
+		t.Errorf("MaxCore = %d, want ≥ 3 for a dense K5", res.MaxCore())
+	}
+	subs := res.CoreSubgraphs(res.MaxCore())
+	if len(subs) != 1 {
+		t.Fatalf("%d max-core components, want 1", len(subs))
+	}
+	if subs[0].NumEdges() == 0 {
+		t.Error("empty max-core subgraph")
+	}
+	if subs := res.CoreSubgraphs(res.MaxCore() + 1); len(subs) != 0 {
+		t.Error("non-empty subgraphs beyond the max core")
+	}
+}
+
+func TestTwoDensityLevels(t *testing.T) {
+	// A K5 of high-probability edges plus a pendant chain of low-probability
+	// edges: the clique must form a strictly deeper core.
+	var es []probgraph.ProbEdge
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			es = append(es, probgraph.ProbEdge{U: u, V: v, P: 0.95})
+		}
+	}
+	es = append(es, probgraph.ProbEdge{U: 4, V: 5, P: 0.3}, probgraph.ProbEdge{U: 5, V: 6, P: 0.3})
+	pg := probgraph.MustNew(7, es)
+	res, err := Decompose(pg, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0] <= res.Cores[6] {
+		t.Errorf("clique core %d not deeper than chain core %d", res.Cores[0], res.Cores[6])
+	}
+}

@@ -1,0 +1,94 @@
+package probgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a probabilistic edge list in the whitespace-separated
+// text format used by the paper's dataset releases:
+//
+//	# comment lines start with '#' or '%'
+//	u v p
+//
+// Vertex ids are non-negative integers; p may be omitted, defaulting to 1
+// (a deterministic edge). Duplicate edges are an error.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var edges []ProbEdge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("probgraph: line %d: want 'u v [p]', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("probgraph: line %d: bad vertex %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("probgraph: line %d: bad vertex %q: %v", line, fields[1], err)
+		}
+		p := 1.0
+		if len(fields) == 3 {
+			p, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("probgraph: line %d: bad probability %q: %v", line, fields[2], err)
+			}
+		}
+		edges = append(edges, ProbEdge{U: int32(u), V: int32(v), P: p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("probgraph: read: %w", err)
+	}
+	return New(0, edges)
+}
+
+// ReadEdgeListFile opens and parses path with ReadEdgeList.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes pg in the format accepted by ReadEdgeList.
+func (pg *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# probabilistic edge list: %d vertices, %d edges\n",
+		pg.NumVertices(), pg.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range pg.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes pg to path, creating or truncating it.
+func (pg *Graph) WriteEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pg.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

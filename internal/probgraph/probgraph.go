@@ -1,0 +1,181 @@
+// Package probgraph implements probabilistic (uncertain) graphs: undirected
+// graphs whose edges carry independent existence probabilities, together
+// with possible-world sampling and text IO.
+//
+// A probabilistic graph G = (V, E, p) induces a distribution over
+// deterministic graphs ("possible worlds"): world G ⊑ G keeps a subset of E
+// and has probability Π_{e∈G} p(e) · Π_{e∉G} (1−p(e)) (Eq. 1 of the paper).
+package probgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probnucleus/internal/graph"
+)
+
+// ProbEdge is an undirected edge with an existence probability.
+type ProbEdge struct {
+	U, V int32
+	P    float64
+}
+
+// Graph is an immutable probabilistic graph. The structure is a CSR graph
+// (see package graph) with a parallel per-directed-edge probability array.
+type Graph struct {
+	G    *graph.Graph
+	prob []float64 // parallel to the CSR adjacency array
+}
+
+// New builds a probabilistic graph from edges. Duplicate edges, self-loops,
+// and probabilities outside (0, 1] are rejected.
+func New(n int, edges []ProbEdge) (*Graph, error) {
+	b := graph.NewBuilder(n)
+	probs := make(map[graph.Edge]float64, len(edges))
+	for _, e := range edges {
+		if !(e.P > 0 && e.P <= 1) || math.IsNaN(e.P) {
+			return nil, fmt.Errorf("probgraph: edge (%d,%d) has probability %v outside (0,1]", e.U, e.V, e.P)
+		}
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+		probs[graph.Edge{U: e.U, V: e.V}.Canon()] = e.P
+	}
+	g := b.Build()
+	pg := &Graph{G: g, prob: make([]float64, 2*g.NumEdges())}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			pg.prob[g.AdjIndex(u, v)] = probs[graph.Edge{U: u, V: v}.Canon()]
+		}
+	}
+	return pg, nil
+}
+
+// MustNew is New but panics on error; intended for tests and fixtures.
+func MustNew(n int, edges []ProbEdge) *Graph {
+	pg, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return pg
+}
+
+// NumVertices returns the number of vertices.
+func (pg *Graph) NumVertices() int { return pg.G.NumVertices() }
+
+// NumEdges returns the number of undirected edges.
+func (pg *Graph) NumEdges() int { return pg.G.NumEdges() }
+
+// Prob returns the existence probability of edge (u,v), or 0 if absent.
+func (pg *Graph) Prob(u, v int32) float64 {
+	idx := pg.G.AdjIndex(u, v)
+	if idx < 0 {
+		return 0
+	}
+	return pg.prob[idx]
+}
+
+// ProbAt returns the probability stored at CSR position idx (as returned by
+// G.AdjIndex). It avoids the binary search when the index is already known.
+func (pg *Graph) ProbAt(idx int) float64 { return pg.prob[idx] }
+
+// Edges returns all undirected edges with probabilities, U < V.
+func (pg *Graph) Edges() []ProbEdge {
+	es := pg.G.Edges()
+	out := make([]ProbEdge, len(es))
+	for i, e := range es {
+		out[i] = ProbEdge{U: e.U, V: e.V, P: pg.prob[pg.G.AdjIndex(e.U, e.V)]}
+	}
+	return out
+}
+
+// AvgProb returns the mean edge probability, or 0 for an edgeless graph.
+func (pg *Graph) AvgProb() float64 {
+	if pg.NumEdges() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range pg.Edges() {
+		sum += e.P
+	}
+	return sum / float64(pg.NumEdges())
+}
+
+// TriangleProb returns the probability that all three edges of the triangle
+// exist, i.e. Pr(△) = p(a,b)·p(a,c)·p(b,c). It returns 0 if any edge is
+// missing.
+func (pg *Graph) TriangleProb(t graph.Triangle) float64 {
+	return pg.Prob(t.A, t.B) * pg.Prob(t.A, t.C) * pg.Prob(t.B, t.C)
+}
+
+// WorldProb returns the probability of the possible world that contains
+// exactly the edges of w (which must be a subgraph of pg over the same
+// vertex-id space), per Eq. 1.
+func (pg *Graph) WorldProb(w *graph.Graph) float64 {
+	p := 1.0
+	for _, e := range pg.G.Edges() {
+		pe := pg.Prob(e.U, e.V)
+		if w.HasEdge(e.U, e.V) {
+			p *= pe
+		} else {
+			p *= 1 - pe
+		}
+	}
+	return p
+}
+
+// SampleWorld draws one possible world: each edge is kept independently
+// with its probability, using rng.
+func (pg *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(pg.NumVertices())
+	for _, e := range pg.Edges() {
+		if rng.Float64() < e.P {
+			_ = b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// EdgeSubgraph returns the probabilistic subgraph containing exactly the
+// edges for which keep reports true (same vertex-id space).
+func (pg *Graph) EdgeSubgraph(keep func(u, v int32) bool) *Graph {
+	var es []ProbEdge
+	for _, e := range pg.Edges() {
+		if keep(e.U, e.V) {
+			es = append(es, e)
+		}
+	}
+	sub, err := New(pg.NumVertices(), es)
+	if err != nil {
+		// Cannot happen: edges come from a valid graph.
+		panic(err)
+	}
+	return sub
+}
+
+// VertexSubgraph returns the probabilistic subgraph induced by the given
+// vertex set (same vertex-id space; edges with both endpoints in the set).
+func (pg *Graph) VertexSubgraph(verts map[int32]bool) *Graph {
+	return pg.EdgeSubgraph(func(u, v int32) bool { return verts[u] && verts[v] })
+}
+
+// Stats summarises a probabilistic graph; it backs Table 1 of the paper.
+type Stats struct {
+	NumVertices  int
+	NumEdges     int
+	MaxDegree    int
+	AvgProb      float64
+	NumTriangles int
+}
+
+// ComputeStats returns the dataset statistics reported in Table 1.
+func (pg *Graph) ComputeStats() Stats {
+	return Stats{
+		NumVertices:  pg.NumVertices(),
+		NumEdges:     pg.NumEdges(),
+		MaxDegree:    pg.G.MaxDegree(),
+		AvgProb:      pg.AvgProb(),
+		NumTriangles: len(pg.G.Triangles()),
+	}
+}

@@ -1,0 +1,267 @@
+package probgraph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+// fig1Graph builds the probabilistic graph of Figure 1a in the paper:
+// vertices 1..7 (we keep the paper's 1-based ids; vertex 0 is isolated).
+// The probability assignment is reconstructed from the numeric constraints
+// of Examples 1-2 (see package fixtures, which duplicates it publicly; this
+// copy avoids an import cycle).
+func fig1Graph() *Graph {
+	return MustNew(8, []ProbEdge{
+		{1, 2, 1}, {1, 3, 1}, {1, 4, 1}, {1, 5, 1},
+		{2, 3, 1}, {2, 5, 1},
+		{2, 4, 0.7}, {3, 4, 0.6}, {3, 5, 0.5},
+		{1, 7, 0.8}, {4, 6, 0.8}, {6, 7, 0.8},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []ProbEdge
+	}{
+		{"zero prob", []ProbEdge{{0, 1, 0}}},
+		{"negative prob", []ProbEdge{{0, 1, -0.5}}},
+		{"above one", []ProbEdge{{0, 1, 1.5}}},
+		{"NaN", []ProbEdge{{0, 1, math.NaN()}}},
+		{"self loop", []ProbEdge{{2, 2, 0.5}}},
+		{"duplicate", []ProbEdge{{0, 1, 0.5}, {1, 0, 0.7}}},
+	}
+	for _, c := range cases {
+		if _, err := New(3, c.edges); err == nil {
+			t.Errorf("%s: New accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestProbLookup(t *testing.T) {
+	pg := fig1Graph()
+	if got := pg.Prob(2, 4); got != 0.7 {
+		t.Errorf("Prob(2,4) = %v, want 0.7", got)
+	}
+	if got := pg.Prob(4, 2); got != 0.7 {
+		t.Errorf("Prob(4,2) = %v, want 0.7 (symmetric)", got)
+	}
+	if got := pg.Prob(1, 6); got != 0 {
+		t.Errorf("Prob(1,6) = %v, want 0 (absent)", got)
+	}
+	idx := pg.G.AdjIndex(2, 4)
+	if got := pg.ProbAt(idx); got != 0.7 {
+		t.Errorf("ProbAt = %v, want 0.7", got)
+	}
+}
+
+func TestEdgesAndAvgProb(t *testing.T) {
+	pg := fig1Graph()
+	es := pg.Edges()
+	if len(es) != 12 {
+		t.Fatalf("Edges len = %d, want 12", len(es))
+	}
+	sum := 0.0
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Errorf("edge %v not canonical", e)
+		}
+		sum += e.P
+	}
+	if got := pg.AvgProb(); math.Abs(got-sum/12) > 1e-12 {
+		t.Errorf("AvgProb = %v, want %v", got, sum/12)
+	}
+	empty := MustNew(3, nil)
+	if got := empty.AvgProb(); got != 0 {
+		t.Errorf("empty AvgProb = %v, want 0", got)
+	}
+}
+
+func TestTriangleProbPaperExample(t *testing.T) {
+	pg := fig1Graph()
+	// Example 1: the 4-clique {1,2,3,5} exists with probability
+	// 1·1·1·1·1·0.5 = 0.5; triangle (1,3,5) has probability 1·1·0.5.
+	tri := graph.MakeTriangle(1, 3, 5)
+	if got := pg.TriangleProb(tri); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TriangleProb(1,3,5) = %v, want 0.5", got)
+	}
+	clique := pg.Prob(1, 2) * pg.Prob(1, 3) * pg.Prob(1, 5) *
+		pg.Prob(2, 3) * pg.Prob(2, 5) * pg.Prob(3, 5)
+	if math.Abs(clique-0.5) > 1e-12 {
+		t.Errorf("clique {1,2,3,5} prob = %v, want 0.5", clique)
+	}
+}
+
+func TestWorldProbFigure1(t *testing.T) {
+	pg := fig1Graph()
+	// Figure 1b: the possible world missing edges (1,7) and (2,4) has
+	// probability 0.01152 per the paper.
+	b := graph.NewBuilder(8)
+	for _, e := range pg.Edges() {
+		if (e.U == 1 && e.V == 7) || (e.U == 2 && e.V == 4) {
+			continue
+		}
+		_ = b.AddEdge(e.U, e.V)
+	}
+	w := b.Build()
+	got := pg.WorldProb(w)
+	if math.Abs(got-0.01152) > 1e-9 {
+		t.Errorf("WorldProb = %v, want 0.01152", got)
+	}
+}
+
+func TestWorldProbSumsToOneTinyGraph(t *testing.T) {
+	// For a 3-edge graph, the probabilities of all 8 worlds must sum to 1.
+	pg := MustNew(3, []ProbEdge{{0, 1, 0.3}, {1, 2, 0.6}, {0, 2, 0.9}})
+	edges := pg.Edges()
+	sum := 0.0
+	for mask := 0; mask < 8; mask++ {
+		b := graph.NewBuilder(3)
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				_ = b.AddEdge(e.U, e.V)
+			}
+		}
+		sum += pg.WorldProb(b.Build())
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestSampleWorldFrequencies(t *testing.T) {
+	pg := MustNew(2, []ProbEdge{{0, 1, 0.3}})
+	rng := rand.New(rand.NewSource(1))
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if pg.SampleWorld(rng).HasEdge(0, 1) {
+			hits++
+		}
+	}
+	freq := float64(hits) / float64(n)
+	if math.Abs(freq-0.3) > 0.02 {
+		t.Errorf("edge frequency = %v, want ≈0.3", freq)
+	}
+}
+
+func TestSampleWorldDeterministicEdges(t *testing.T) {
+	pg := MustNew(3, []ProbEdge{{0, 1, 1}, {1, 2, 1}})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		w := pg.SampleWorld(rng)
+		if !w.HasEdge(0, 1) || !w.HasEdge(1, 2) {
+			t.Fatal("probability-1 edge missing from sampled world")
+		}
+	}
+}
+
+func TestSubgraphs(t *testing.T) {
+	pg := fig1Graph()
+	sub := pg.VertexSubgraph(map[int32]bool{1: true, 2: true, 3: true, 5: true})
+	if got := sub.NumEdges(); got != 6 {
+		t.Errorf("VertexSubgraph edges = %d, want 6", got)
+	}
+	if got := sub.Prob(3, 5); got != 0.5 {
+		t.Errorf("subgraph Prob(3,5) = %v, want 0.5", got)
+	}
+	es := pg.EdgeSubgraph(func(u, v int32) bool { return pg.Prob(u, v) == 1 })
+	for _, e := range es.Edges() {
+		if e.P != 1 {
+			t.Errorf("EdgeSubgraph kept edge %v with p=%v", e, e.P)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	pg := fig1Graph()
+	st := pg.ComputeStats()
+	if st.NumVertices != 8 || st.NumEdges != 12 {
+		t.Errorf("stats size = %d/%d, want 8/12", st.NumVertices, st.NumEdges)
+	}
+	if st.MaxDegree != 5 {
+		t.Errorf("MaxDegree = %d, want 5", st.MaxDegree)
+	}
+	if st.NumTriangles == 0 {
+		t.Error("no triangles found in Figure 1 graph")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1 0.5
+1 2
+2 0 0.25
+`
+	pg, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", pg.NumEdges())
+	}
+	if got := pg.Prob(1, 2); got != 1 {
+		t.Errorf("default probability = %v, want 1", got)
+	}
+	if got := pg.Prob(0, 2); got != 0.25 {
+		t.Errorf("Prob(0,2) = %v, want 0.25", got)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"too many fields", "0 1 0.5 9\n"},
+		{"one field", "7\n"},
+		{"bad vertex", "x 1 0.5\n"},
+		{"bad prob", "0 1 zebra\n"},
+		{"prob out of range", "0 1 2.0\n"},
+		{"duplicate edge", "0 1 0.5\n1 0 0.5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	pg := fig1Graph()
+	var sb strings.Builder
+	if err := pg.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != pg.NumEdges() {
+		t.Fatalf("round trip edges = %d, want %d", back.NumEdges(), pg.NumEdges())
+	}
+	for _, e := range pg.Edges() {
+		if got := back.Prob(e.U, e.V); math.Abs(got-e.P) > 1e-15 {
+			t.Errorf("edge (%d,%d): prob %v, want %v", e.U, e.V, got, e.P)
+		}
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	pg := fig1Graph()
+	path := t.TempDir() + "/g.txt"
+	if err := pg.WriteEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != pg.NumEdges() {
+		t.Errorf("file round trip edges = %d, want %d", back.NumEdges(), pg.NumEdges())
+	}
+	if _, err := ReadEdgeListFile(t.TempDir() + "/missing.txt"); err == nil {
+		t.Error("reading missing file succeeded")
+	}
+}

@@ -1,0 +1,141 @@
+package probtruss
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/probgraph"
+)
+
+func TestValidatesGamma(t *testing.T) {
+	pg := fixtures.Fig1()
+	for _, bad := range []float64{0, -0.5, 2} {
+		if _, err := Decompose(pg, bad); err == nil {
+			t.Errorf("gamma=%v accepted", bad)
+		}
+	}
+}
+
+// TestDeterministicMatchesClassicTruss: with all probabilities 1 the
+// (k,γ)-truss equals the deterministic k-truss for any γ.
+func TestDeterministicMatchesClassicTruss(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for iter := 0; iter < 20; iter++ {
+		n := 13
+		var es []probgraph.ProbEdge
+		for u := int32(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				if rng.Float64() < 0.4 {
+					es = append(es, probgraph.ProbEdge{U: u, V: v, P: 1})
+				}
+			}
+		}
+		pg := probgraph.MustNew(n, es)
+		for _, gamma := range []float64{0.3, 1} {
+			res, err := Decompose(pg, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ei, want := decomp.TrussNumbers(pg.G)
+			for i := range want {
+				id, ok := res.EI.ID(ei.Edges[i].U, ei.Edges[i].V)
+				if !ok {
+					t.Fatal("edge missing from result index")
+				}
+				if res.Truss[id] != want[i] {
+					t.Fatalf("iter %d γ=%v: truss(%v) = %d, want %d",
+						iter, gamma, ei.Edges[i], res.Truss[id], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLowProbabilityEdgesExcluded: edges with p(e) < γ get trussness −1.
+func TestLowProbabilityEdgesExcluded(t *testing.T) {
+	pg := probgraph.MustNew(4, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.05}, {U: 0, V: 2, P: 0.9}, {U: 1, V: 2, P: 0.9},
+		{U: 2, V: 3, P: 0.9},
+	})
+	res, err := Decompose(pg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := res.EI.ID(0, 1)
+	if res.Truss[id] != -1 {
+		t.Errorf("truss(0,1) = %d, want -1", res.Truss[id])
+	}
+	id, _ = res.EI.ID(2, 3)
+	if res.Truss[id] != 0 {
+		t.Errorf("truss(2,3) = %d, want 0", res.Truss[id])
+	}
+}
+
+// TestProbabilisticSupportSemantics: in a K4 with all probabilities p, each
+// edge has two triangle completions each existing with probability p².
+func TestProbabilisticSupportSemantics(t *testing.T) {
+	pg := fixtures.CompleteProbGraph(4, 0.8)
+	// Pr[supp ≥ 1] = 1−(1−0.64)² = 0.8704; times p(e)=0.8 → 0.696.
+	// Pr[supp ≥ 2] = 0.64² = 0.4096; times 0.8 → 0.3277.
+	res, err := Decompose(pg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tv := range res.Truss {
+		if tv != 1 {
+			t.Errorf("γ=0.5: truss(%v) = %d, want 1", res.EI.Edges[i], tv)
+		}
+	}
+	res, err = Decompose(pg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tv := range res.Truss {
+		if tv != 2 {
+			t.Errorf("γ=0.3: truss(%v) = %d, want 2", res.EI.Edges[i], tv)
+		}
+	}
+}
+
+func TestMaxTrussAndSubgraphs(t *testing.T) {
+	pg := fixtures.CompleteProbGraph(6, 0.9)
+	res, err := Decompose(pg, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTruss() < 2 {
+		t.Errorf("MaxTruss = %d, want ≥ 2", res.MaxTruss())
+	}
+	subs := res.TrussSubgraphs(res.MaxTruss())
+	if len(subs) != 1 {
+		t.Fatalf("%d max-truss components, want 1", len(subs))
+	}
+	if subs := res.TrussSubgraphs(res.MaxTruss() + 1); len(subs) != 0 {
+		t.Error("non-empty subgraphs beyond the max truss")
+	}
+}
+
+// TestTrussWeakerThanNucleusStrongerThanCore: on the Figure 1 graph the
+// hierarchy nucleus ⊆ truss ⊆ core shows up as subgraph containment of the
+// top levels (qualitative check of the Table 3 narrative).
+func TestSeparateComponents(t *testing.T) {
+	var es []probgraph.ProbEdge
+	for base := int32(0); base <= 4; base += 4 {
+		for u := base; u < base+4; u++ {
+			for v := u + 1; v < base+4; v++ {
+				es = append(es, probgraph.ProbEdge{U: u, V: v, P: 0.9})
+			}
+		}
+	}
+	pg := probgraph.MustNew(8, es)
+	res, err := Decompose(pg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := res.TrussSubgraphs(res.MaxTruss())
+	if len(subs) != 2 {
+		t.Errorf("%d components, want 2", len(subs))
+	}
+}

@@ -1,0 +1,70 @@
+// Package uf provides a union-find (disjoint set union) structure with path
+// halving and union by size, used to assemble nuclei, trusses, and cores
+// into connected components.
+package uf
+
+// UF is a disjoint-set forest over dense int32 ids.
+type UF struct {
+	parent []int32
+	size   []int32
+}
+
+// New creates n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (u *UF) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UF) Same(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// SetSize returns the size of x's set.
+func (u *UF) SetSize(x int32) int { return int(u.size[u.Find(x)]) }
+
+// Groups returns the members of every set with at least minSize elements,
+// restricted to ids for which include returns true (include == nil keeps
+// all).
+func (u *UF) Groups(minSize int, include func(int32) bool) [][]int32 {
+	byRoot := make(map[int32][]int32)
+	for i := int32(0); int(i) < len(u.parent); i++ {
+		if include != nil && !include(i) {
+			continue
+		}
+		r := u.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var out [][]int32
+	for _, g := range byRoot {
+		if len(g) >= minSize {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	u := New(5)
+	if u.Same(0, 1) {
+		t.Error("fresh sets reported equal")
+	}
+	if !u.Union(0, 1) {
+		t.Error("Union of distinct sets returned false")
+	}
+	if u.Union(1, 0) {
+		t.Error("Union of same set returned true")
+	}
+	if !u.Same(0, 1) {
+		t.Error("merged sets reported distinct")
+	}
+	if got := u.SetSize(0); got != 2 {
+		t.Errorf("SetSize = %d, want 2", got)
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if got := u.SetSize(2); got != 4 {
+		t.Errorf("SetSize = %d, want 4", got)
+	}
+	if u.Same(0, 4) {
+		t.Error("singleton merged spuriously")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(3, 4)
+	all := u.Groups(1, nil)
+	if len(all) != 3 { // {0,1}, {2,3,4}, {5}
+		t.Fatalf("Groups(1) = %d groups, want 3", len(all))
+	}
+	big := u.Groups(3, nil)
+	if len(big) != 1 || len(big[0]) != 3 {
+		t.Fatalf("Groups(3) = %v, want one group of 3", big)
+	}
+	even := u.Groups(1, func(x int32) bool { return x%2 == 0 })
+	total := 0
+	for _, g := range even {
+		total += len(g)
+		for _, x := range g {
+			if x%2 != 0 {
+				t.Errorf("include filter violated: %d", x)
+			}
+		}
+	}
+	if total != 3 {
+		t.Errorf("filtered members = %d, want 3", total)
+	}
+}
+
+// TestAgainstNaive compares against a naive component labelling under random
+// union sequences.
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for op := 0; op < 60; op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			u.Union(a, b)
+			if label[a] != label[b] {
+				relabel(label[a], label[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(int32(i), int32(j)) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

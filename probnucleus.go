@@ -1,0 +1,210 @@
+// Package probnucleus is a library for nucleus decomposition in
+// probabilistic (uncertain) graphs, implementing the algorithms of
+// "Nucleus Decomposition in Probabilistic Graphs: Hardness and Algorithms"
+// (Esfahani, Srinivasan, Thomo, Wu; ICDE 2022).
+//
+// A probabilistic graph assigns every edge an independent existence
+// probability. The k-(3,4)-nucleus of such a graph is a maximal dense
+// subgraph in which every triangle is contained in at least k 4-cliques
+// with probability at least θ. The package provides:
+//
+//   - Local decomposition (ℓ-NuDecomp): exact polynomial-time peeling with a
+//     Poisson-binomial dynamic program (ModeDP) or the statistical
+//     approximation framework with Poisson / Translated Poisson / Normal /
+//     Binomial tails (ModeAP).
+//   - Global decomposition (g-NuDecomp, #P-hard) and weakly-global
+//     decomposition (w-NuDecomp, NP-hard), approximated by search-space
+//     pruning plus Monte-Carlo sampling with Hoeffding guarantees.
+//   - Probabilistic (k,η)-core and local (k,γ)-truss baselines, and the
+//     probabilistic density / clustering-coefficient metrics used to compare
+//     them.
+//   - Generators for the six simulated evaluation datasets and text IO for
+//     `u v p` edge lists.
+//
+// Quick start:
+//
+//	pg, _ := probnucleus.ReadEdgeListFile("graph.txt")
+//	res, _ := probnucleus.LocalDecompose(pg, 0.3, probnucleus.Options{})
+//	for _, nucleus := range res.NucleiForK(res.MaxNucleusness()) {
+//	    fmt.Println(nucleus.Vertices)
+//	}
+package probnucleus
+
+import (
+	"io"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/decomp"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/mc"
+	"probnucleus/internal/metrics"
+	"probnucleus/internal/pbd"
+	"probnucleus/internal/probcore"
+	"probnucleus/internal/probgraph"
+	"probnucleus/internal/probtruss"
+)
+
+// Graph is a probabilistic graph: an undirected simple graph whose edges
+// carry independent existence probabilities in (0,1].
+type Graph = probgraph.Graph
+
+// ProbEdge is an undirected edge with an existence probability.
+type ProbEdge = probgraph.ProbEdge
+
+// Triangle is a 3-clique with vertices in increasing order.
+type Triangle = graph.Triangle
+
+// Edge is an undirected vertex pair.
+type Edge = graph.Edge
+
+// Stats summarises a dataset (the columns of Table 1 in the paper).
+type Stats = probgraph.Stats
+
+// NewGraph builds a probabilistic graph from edges, validating
+// probabilities, duplicate edges and self-loops.
+func NewGraph(n int, edges []ProbEdge) (*Graph, error) { return probgraph.New(n, edges) }
+
+// ReadEdgeList parses a `u v p` edge list (p optional, default 1).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return probgraph.ReadEdgeList(r) }
+
+// ReadEdgeListFile parses an edge-list file.
+func ReadEdgeListFile(path string) (*Graph, error) { return probgraph.ReadEdgeListFile(path) }
+
+// --- Local decomposition ---
+
+// Mode selects how triangle-support tail probabilities are evaluated.
+type Mode = core.Mode
+
+// Evaluation modes for LocalDecompose.
+const (
+	// ModeDP uses the exact Poisson-binomial dynamic program everywhere.
+	ModeDP = core.ModeDP
+	// ModeAP uses the statistical approximations of Sec. 5.3 with DP
+	// fallback; orders of magnitude faster on large, dense graphs with
+	// near-identical results (see EXPERIMENTS.md, Table 2).
+	ModeAP = core.ModeAP
+)
+
+// Options configures LocalDecompose.
+type Options = core.Options
+
+// LocalResult carries the per-triangle probabilistic nucleusness scores.
+type LocalResult = core.LocalResult
+
+// Nucleus is one maximal ℓ-(k,θ)-nucleus.
+type Nucleus = decomp.Nucleus
+
+// LocalDecompose computes the local probabilistic nucleus decomposition of
+// pg at threshold θ (Algorithm 1 of the paper).
+func LocalDecompose(pg *Graph, theta float64, opts Options) (*LocalResult, error) {
+	return core.LocalDecompose(pg, theta, opts)
+}
+
+// --- Global and weakly-global decomposition ---
+
+// MCOptions configures the Monte-Carlo estimation used by the global and
+// weakly-global algorithms.
+type MCOptions = core.MCOptions
+
+// ProbNucleus is a nucleus found by the global or weakly-global algorithm.
+type ProbNucleus = core.ProbNucleus
+
+// GlobalNuclei finds the g-(k,θ)-nuclei of pg (Algorithm 2). The problem is
+// #P-hard; the result is a Monte-Carlo approximation with Hoeffding
+// guarantees on each tail estimate.
+func GlobalNuclei(pg *Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	return core.GlobalNuclei(pg, k, theta, opts)
+}
+
+// WeaklyGlobalNuclei finds the w-(k,θ)-nuclei of pg (Algorithm 3). The
+// problem is NP-hard; the result is a Monte-Carlo approximation.
+func WeaklyGlobalNuclei(pg *Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	return core.WeaklyGlobalNuclei(pg, k, theta, opts)
+}
+
+// HoeffdingSampleSize returns the number of Monte-Carlo samples needed for
+// an (ε,δ) estimate (Lemma 4).
+func HoeffdingSampleSize(eps, delta float64) int { return mc.SampleSize(eps, delta) }
+
+// --- Baselines ---
+
+// CoreResult is a probabilistic (k,η)-core decomposition.
+type CoreResult = probcore.Result
+
+// CoreDecompose computes the (k,η)-core decomposition (Bonchi et al.), the
+// r=1, s=2 member of the nucleus family.
+func CoreDecompose(pg *Graph, eta float64) (*CoreResult, error) {
+	return probcore.Decompose(pg, eta)
+}
+
+// TrussResult is a probabilistic local (k,γ)-truss decomposition.
+type TrussResult = probtruss.Result
+
+// TrussDecompose computes the local (k,γ)-truss decomposition (Huang, Lu,
+// Lakshmanan), the r=2, s=3 member of the nucleus family.
+func TrussDecompose(pg *Graph, gamma float64) (*TrussResult, error) {
+	return probtruss.Decompose(pg, gamma)
+}
+
+// --- Metrics ---
+
+// Cohesiveness bundles subgraph quality statistics (Table 3 columns).
+type Cohesiveness = metrics.Cohesiveness
+
+// PD returns the probabilistic density of a graph (Eq. 19).
+func PD(pg *Graph) float64 { return metrics.PD(pg) }
+
+// PCC returns the probabilistic clustering coefficient (Eq. 20).
+func PCC(pg *Graph) float64 { return metrics.PCC(pg) }
+
+// Measure computes vertex/edge counts, PD, and PCC for a subgraph.
+func Measure(pg *Graph) Cohesiveness { return metrics.Measure(pg) }
+
+// --- Approximation internals exposed for analysis ---
+
+// Method identifies a tail-approximation method (DP, CLT, Poisson,
+// Translated Poisson, Binomial).
+type Method = pbd.Method
+
+// Hyper holds the approximation-selection hyperparameters A, B, C, D.
+type Hyper = pbd.Hyper
+
+// DefaultHyper is the paper's tuned setting A=200, B=100, C=0.25, D=0.9.
+var DefaultHyper = pbd.DefaultHyper
+
+// SupportMaxK returns max{k : Pr[ζ ≥ k] ≥ t} where ζ is the Poisson-binomial
+// sum of the given Bernoulli probabilities, evaluated with the given method
+// (MethodDP is exact). This is the primitive every peeling step of the
+// decomposition answers.
+func SupportMaxK(probs []float64, t float64, m Method) int {
+	return pbd.MaxKWith(probs, t, m)
+}
+
+// ChooseMethod applies the paper's approximation-selection rules (Sec. 5.3)
+// to a support-probability vector.
+func ChooseMethod(probs []float64, h Hyper) Method { return pbd.Choose(probs, h) }
+
+// --- Datasets ---
+
+// DatasetConfig describes a synthetic dataset recipe.
+type DatasetConfig = dataset.Config
+
+// DatasetNames lists the six simulated evaluation datasets in Table 1
+// order: krogan, dblp, flickr, pokec, biomine, ljournal.
+func DatasetNames() []string { return dataset.Names() }
+
+// LoadDataset returns the generator configuration of a named simulated
+// dataset at the given scale (1 = the calibrated default size).
+func LoadDataset(name string, scale float64) (DatasetConfig, error) {
+	return dataset.Load(name, dataset.Scale(scale))
+}
+
+// GenerateDataset builds the probabilistic graph for a dataset config.
+func GenerateDataset(cfg DatasetConfig) *Graph { return dataset.Generate(cfg) }
+
+// MustDataset generates a named dataset, panicking on unknown names;
+// convenient in examples and benchmarks.
+func MustDataset(name string, scale float64) *Graph {
+	return dataset.Generate(dataset.MustLoad(name, dataset.Scale(scale)))
+}

@@ -1,0 +1,114 @@
+package probnucleus_test
+
+import (
+	"strings"
+	"testing"
+
+	pn "probnucleus"
+)
+
+func fig1() *pn.Graph {
+	g, err := pn.NewGraph(8, []pn.ProbEdge{
+		{U: 1, V: 2, P: 1}, {U: 1, V: 3, P: 1}, {U: 1, V: 4, P: 1}, {U: 1, V: 5, P: 1},
+		{U: 2, V: 3, P: 1}, {U: 2, V: 5, P: 1},
+		{U: 2, V: 4, P: 0.7}, {U: 3, V: 4, P: 0.6}, {U: 3, V: 5, P: 0.5},
+		{U: 1, V: 7, P: 0.8}, {U: 4, V: 6, P: 0.8}, {U: 6, V: 7, P: 0.8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the README
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := fig1()
+
+	res, err := pn.LocalDecompose(g, 0.42, pn.Options{Mode: pn.ModeDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxNucleusness() != 1 {
+		t.Errorf("max nucleusness = %d, want 1", res.MaxNucleusness())
+	}
+	nuclei := res.NucleiForK(1)
+	if len(nuclei) != 1 || len(nuclei[0].Vertices) != 5 {
+		t.Fatalf("NucleiForK(1) = %+v, want one 5-vertex nucleus", nuclei)
+	}
+
+	glob, err := pn.GlobalNuclei(g, 1, 0.35, pn.MCOptions{Samples: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(glob) != 2 {
+		t.Errorf("global nuclei = %d, want 2 (Figure 3)", len(glob))
+	}
+
+	weak, err := pn.WeaklyGlobalNuclei(g, 1, 0.38, pn.MCOptions{Samples: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weak) != 1 {
+		t.Errorf("weak nuclei = %d, want 1", len(weak))
+	}
+
+	if pd := pn.PD(g); !(pd > 0 && pd <= 1) {
+		t.Errorf("PD = %v out of range", pd)
+	}
+	if pcc := pn.PCC(g); !(pcc > 0 && pcc <= 1) {
+		t.Errorf("PCC = %v out of range", pcc)
+	}
+
+	cores, err := pn.CoreDecompose(g, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores.MaxCore() < 2 {
+		t.Errorf("MaxCore = %d, want ≥ 2", cores.MaxCore())
+	}
+	truss, err := pn.TrussDecompose(g, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truss.MaxTruss() < 1 {
+		t.Errorf("MaxTruss = %d, want ≥ 1", truss.MaxTruss())
+	}
+}
+
+func TestReadEdgeListPublic(t *testing.T) {
+	g, err := pn.ReadEdgeList(strings.NewReader("0 1 0.5\n1 2 0.8\n0 2 0.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestHoeffdingSampleSizePublic(t *testing.T) {
+	if n := pn.HoeffdingSampleSize(0.1, 0.1); n != 150 {
+		t.Errorf("sample size = %d, want 150", n)
+	}
+}
+
+func TestDatasetsPublic(t *testing.T) {
+	names := pn.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+	g := pn.MustDataset("krogan", 0.1)
+	if g.NumEdges() == 0 {
+		t.Error("empty krogan sim")
+	}
+	if _, err := pn.LoadDataset("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	cfg, err := pn.LoadDataset("dblp", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := pn.GenerateDataset(cfg); g.NumEdges() == 0 {
+		t.Error("empty dblp sim")
+	}
+}
