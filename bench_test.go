@@ -8,6 +8,7 @@ package probnucleus_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -227,6 +228,66 @@ func BenchmarkFig7KSweep(b *testing.B) {
 			b.Fatal("no nuclei in sweep")
 		}
 	}
+}
+
+// --- Parallel engine: serial vs parallel pairs ---
+//
+// Each pair runs the identical workload with Workers=1 (serial) and
+// Workers=0 (all cores); on a ≥4-core runner the parallel variant should be
+// ≥2x faster, and the differential tests prove the outputs are identical.
+
+func benchWorkersPair(b *testing.B, run func(b *testing.B, workers int)) {
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
+}
+
+func BenchmarkParallelLocalDP(b *testing.B) {
+	g := benchGraph("flickr", 0.15)
+	benchWorkersPair(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pn.LocalDecompose(g, 0.3, pn.Options{Mode: pn.ModeDP, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelLocalAP(b *testing.B) {
+	g := benchGraph("flickr", 0.15)
+	benchWorkersPair(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pn.LocalDecompose(g, 0.3, pn.Options{Mode: pn.ModeAP, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelWorlds(b *testing.B) {
+	g := benchGraph("dblp", 0.15)
+	benchWorkersPair(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if ws := pn.SampleWorlds(g, 256, workers, 42); len(ws) != 256 {
+				b.Fatal("short sample")
+			}
+		}
+	})
+}
+
+func BenchmarkParallelWeaklyGlobal(b *testing.B) {
+	g := benchGraph("krogan", 0.04)
+	local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkersPair(b, func(b *testing.B, workers int) {
+		opts := pn.MCOptions{Samples: 200, Seed: 1, Local: local, Workers: workers}
+		for i := 0; i < b.N; i++ {
+			if _, err := pn.WeaklyGlobalNuclei(g, 1, 0.001, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Figure 8: the three semantics on the same graph ---

@@ -7,6 +7,10 @@
 //	nudecomp -dataset krogan -theta 0.3 -mode ap          # local, approximations
 //	nudecomp -dataset krogan -theta 0.001 -mode global -k 2
 //	nudecomp -dataset krogan -theta 0.001 -mode weak -k 2
+//	nudecomp -dataset dblp -theta 0.3 -workers 8          # bounded worker pool
+//
+// -workers bounds the parallel execution engine (0 = all cores, 1 = serial);
+// every mode produces identical output for every worker count.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		samples = flag.Int("samples", 200, "Monte-Carlo samples for global/weak modes")
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
 		top     = flag.Int("top", 5, "print at most this many nuclei per level")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -57,19 +62,19 @@ func main() {
 		if *mode == "ap" {
 			m = pn.ModeAP
 		}
-		res, err := pn.LocalDecompose(pg, *theta, pn.Options{Mode: m})
+		res, err := pn.LocalDecompose(pg, *theta, pn.Options{Mode: m, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		printLocal(res, *top)
 	case "global":
-		nuclei, err := pn.GlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed})
+		nuclei, err := pn.GlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		printProbNuclei("g", nuclei, *k, *theta, *top)
 	case "weak":
-		nuclei, err := pn.WeaklyGlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed})
+		nuclei, err := pn.WeaklyGlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

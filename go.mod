@@ -1,0 +1,3 @@
+module probnucleus
+
+go 1.21

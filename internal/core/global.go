@@ -7,6 +7,7 @@ import (
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
 	"probnucleus/internal/mc"
+	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
 
@@ -22,7 +23,14 @@ type MCOptions struct {
 	// Local supplies a precomputed exact local decomposition at the same θ
 	// to prune the search space; when nil it is computed internally.
 	Local *LocalResult
+	// Workers bounds the worker pool for possible-world sampling and
+	// per-world evaluation: 0 (the default) means runtime.GOMAXPROCS, 1 runs
+	// fully serial. Worlds are drawn from chunk-derived PRNGs (see package
+	// mc), so results depend only on Seed, never on the worker count.
+	Workers int
 }
+
+func (o MCOptions) workerCount() int { return par.Workers(o.Workers) }
 
 func (o MCOptions) sampleCount() int {
 	if o.Samples > 0 {
@@ -60,7 +68,7 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +90,7 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 		}
 		seen[sig] = true
 		h := cand.subgraph(pg, closure)
-		minProb, ok := estimateGlobal(h, closure, k, theta, n, opts.Seed)
+		minProb, ok := estimateGlobal(h, k, theta, n, opts.Seed, opts.workerCount())
 		if !ok {
 			continue
 		}
@@ -213,26 +221,34 @@ func (cs *candidateSpace) subgraph(pg *probgraph.Graph, tris []int32) *probgraph
 
 // estimateGlobal samples n worlds of h and estimates Pr(X_{H,△,g} ≥ k) for
 // every triangle; it reports the minimum estimate and whether all triangles
-// pass θ.
-func estimateGlobal(h *probgraph.Graph, tris []int32, k int, theta float64, n int, seed int64) (float64, bool) {
+// pass θ. Worlds are evaluated by the worker pool; each worker counts into
+// its own per-triangle slice and the counts are summed afterwards, so the
+// estimates are exactly the serial ones for every worker count.
+func estimateGlobal(h *probgraph.Graph, k int, theta float64, n int, seed int64, workers int) (float64, bool) {
 	verts := vertexSet(h)
 	triList := h.G.Triangles() // triangles the candidate subgraph can form
-	count := make(map[graph.Triangle]int, len(triList))
-	s := mc.NewSampler(h, seed)
-	for i := 0; i < n; i++ {
-		w := s.Next()
+	counts := make([][]int, workers)
+	for w := range counts {
+		counts[w] = make([]int, len(triList))
+	}
+	mc.ForEachWorld(h, n, workers, seed, func(worker, _ int, w *graph.Graph) {
 		if !decomp.IsGlobalNucleusWorld(w, verts, k) {
-			continue
+			return
 		}
-		for _, tri := range triList {
+		cnt := counts[worker]
+		for j, tri := range triList {
 			if w.HasEdge(tri.A, tri.B) && w.HasEdge(tri.A, tri.C) && w.HasEdge(tri.B, tri.C) {
-				count[tri]++
+				cnt[j]++
 			}
 		}
-	}
+	})
 	minProb := 1.0
-	for _, tri := range triList {
-		p := float64(count[tri]) / float64(n)
+	for j := range triList {
+		total := 0
+		for w := range counts {
+			total += counts[w][j]
+		}
+		p := float64(total) / float64(n)
 		if p < minProb {
 			minProb = p
 		}

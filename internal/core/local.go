@@ -13,10 +13,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"probnucleus/internal/bucket"
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
+	"probnucleus/internal/par"
 	"probnucleus/internal/pbd"
 	"probnucleus/internal/probgraph"
 )
@@ -42,7 +44,20 @@ type Options struct {
 	// approximation method answered (AP instrumentation for the paper's
 	// accuracy discussion).
 	MethodCounts map[pbd.Method]int
+	// Workers bounds the worker pool used for triangle enumeration and
+	// support-tail scoring: 0 (the default) means runtime.GOMAXPROCS, 1 runs
+	// fully serial. Results are byte-identical for every value — parallel
+	// stages only ever write per-triangle slots and all queue mutations are
+	// applied in a fixed order.
+	Workers int
 }
+
+func (o Options) workerCount() int { return par.Workers(o.Workers) }
+
+// rescoreParallelCutoff is the minimum number of affected triangles for
+// which a peeling step fans its re-scoring out to the worker pool; below it
+// the goroutine overhead outweighs the DP work.
+const rescoreParallelCutoff = 16
 
 // LocalResult is the outcome of ℓ-NuDecomp: the triangle index of the graph
 // and the θ-nucleusness ν(△) of every triangle — the largest k such that △
@@ -63,15 +78,17 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
-	ti := graph.NewTriangleIndex(pg.G)
+	workers := opts.workerCount()
+	ti := graph.NewTriangleIndexParallel(pg.G, workers)
 	ca := decomp.NewCliqueAdjFromIndex(ti)
 	n := ti.Len()
 
 	// Per-triangle existence probability Pr(△) and per-completion clique
-	// probabilities Pr(E_z) = p(u,z)·p(v,z)·p(w,z) (Sec. 5.1).
+	// probabilities Pr(E_z) = p(u,z)·p(v,z)·p(w,z) (Sec. 5.1). Each slot is
+	// written by exactly one worker.
 	triProb := make([]float64, n)
 	compProb := make([][]float64, n)
-	for t := 0; t < n; t++ {
+	par.For(n, workers, func(t int) {
 		tri := ti.Tris[t]
 		triProb[t] = pg.TriangleProb(tri)
 		zs := ti.Comps[t]
@@ -80,26 +97,25 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 			ps[i] = pg.Prob(tri.A, z) * pg.Prob(tri.B, z) * pg.Prob(tri.C, z)
 		}
 		compProb[t] = ps
-	}
+	})
 
 	nu := make([]int, n)
 
 	// Score evaluates max{k : Pr(△)·Pr[ζ ≥ k] ≥ θ} over the live cliques of
-	// triangle t.
-	score := func(t int32) int {
+	// triangle t. It reads only frozen clique state, so concurrent calls for
+	// distinct triangles are safe; method tallies are applied by the caller.
+	score := func(t int32) (int, pbd.Method) {
 		probs := aliveProbs(ca, compProb, t)
 		thr := theta / triProb[t]
 		if opts.Mode == ModeAP {
-			k, m := pbd.ApproxMaxK(probs, thr, opts.Hyper)
-			if opts.MethodCounts != nil {
-				opts.MethodCounts[m]++
-			}
-			return k
+			return pbd.ApproxMaxK(probs, thr, opts.Hyper)
 		}
+		return pbd.MaxK(probs, thr), pbd.MethodDP
+	}
+	tally := func(m pbd.Method) {
 		if opts.MethodCounts != nil {
-			opts.MethodCounts[pbd.MethodDP]++
+			opts.MethodCounts[m]++
 		}
-		return pbd.MaxK(probs, thr)
 	}
 
 	// Phase 0: triangles with Pr(△) < θ can belong to no nucleus (even
@@ -112,20 +128,38 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		}
 	}
 
-	// Phase 1: initial κ scores for the surviving triangles.
+	// Phase 1: initial κ scores for the surviving triangles, evaluated in
+	// parallel (every SupportMaxK call is independent) and pushed serially in
+	// ascending id order so the queue layout matches the serial run.
+	initK := make([]int, n)
+	initM := make([]pbd.Method, n)
+	par.For(n, workers, func(idx int) {
+		t := int32(idx)
+		if nu[t] == -1 {
+			return
+		}
+		initK[t], initM[t] = score(t)
+	})
 	q := bucket.New(n, maxAliveCount(ca))
 	for t := int32(0); int(t) < n; t++ {
 		if nu[t] == -1 {
 			continue
 		}
-		q.Push(t, score(t))
+		tally(initM[t])
+		q.Push(t, initK[t])
 	}
 
 	// Phase 2: peel (Algorithm 1). Pop a minimum-κ triangle, fix its
 	// nucleusness, and re-score the live triangles that shared a 4-clique
-	// with it.
+	// with it. The affected set is processed in sorted id order — and its
+	// scores may be computed by the worker pool, since all clique removals
+	// happen before any re-score — so queue updates land in a deterministic
+	// order for every worker count.
 	floor := 0
 	affected := make(map[int32]bool)
+	var todo []int32
+	var nks []int
+	var nms []pbd.Method
 	for q.Len() > 0 {
 		t, k, _ := q.Pop()
 		if k > floor {
@@ -138,11 +172,31 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 				affected[o] = true
 			}
 		})
+		todo = todo[:0]
 		for o := range affected {
-			if q.Key(o) <= floor {
-				continue
+			if q.Key(o) > floor {
+				todo = append(todo, o)
 			}
-			nk := score(o)
+		}
+		sort.Slice(todo, func(i, j int) bool { return todo[i] < todo[j] })
+		if cap(nks) < len(todo) {
+			nks = make([]int, len(todo))
+			nms = make([]pbd.Method, len(todo))
+		}
+		nks = nks[:len(todo)]
+		nms = nms[:len(todo)]
+		if workers > 1 && len(todo) >= rescoreParallelCutoff {
+			par.For(len(todo), workers, func(i int) {
+				nks[i], nms[i] = score(todo[i])
+			})
+		} else {
+			for i, o := range todo {
+				nks[i], nms[i] = score(o)
+			}
+		}
+		for i, o := range todo {
+			tally(nms[i])
+			nk := nks[i]
 			if nk < floor {
 				nk = floor
 			}
@@ -203,9 +257,11 @@ func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.Tria
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
-	ti := graph.NewTriangleIndex(pg.G)
+	workers := opts.workerCount()
+	ti := graph.NewTriangleIndexParallel(pg.G, workers)
 	kappa := make([]int, ti.Len())
-	for t := 0; t < ti.Len(); t++ {
+	methods := make([]pbd.Method, ti.Len())
+	par.For(ti.Len(), workers, func(t int) {
 		tri := ti.Tris[t]
 		pTri := pg.TriangleProb(tri)
 		probs := make([]float64, len(ti.Comps[t]))
@@ -214,13 +270,14 @@ func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.Tria
 		}
 		thr := theta / pTri
 		if opts.Mode == ModeAP {
-			k, m := pbd.ApproxMaxK(probs, thr, opts.Hyper)
-			kappa[t] = k
-			if opts.MethodCounts != nil {
-				opts.MethodCounts[m]++
-			}
+			kappa[t], methods[t] = pbd.ApproxMaxK(probs, thr, opts.Hyper)
 		} else {
-			kappa[t] = pbd.MaxK(probs, thr)
+			kappa[t], methods[t] = pbd.MaxK(probs, thr), pbd.MethodDP
+		}
+	})
+	if opts.MethodCounts != nil && opts.Mode == ModeAP {
+		for _, m := range methods {
+			opts.MethodCounts[m]++
 		}
 	}
 	return ti, kappa, nil

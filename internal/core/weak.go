@@ -21,7 +21,7 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -30,18 +30,29 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		return nil, fmt.Errorf("core: negative k = %d", k)
 	}
 	n := opts.sampleCount()
+	workers := opts.workerCount()
 
 	var out []ProbNucleus
 	for _, cand := range local.NucleiForK(k) {
 		h := candidateSubgraph(pg, cand)
 		// global_score[△]: number of sampled worlds whose deterministic
-		// nucleus decomposition places △ inside a k-nucleus.
-		score := make(map[graph.Triangle]int, len(cand.Triangles))
-		s := mc.NewSampler(h, opts.Seed)
-		for i := 0; i < n; i++ {
-			w := s.Next()
+		// nucleus decomposition places △ inside a k-nucleus. Each worker
+		// scores into its own map; the merge is a commutative sum, so the
+		// totals match the serial run for every worker count.
+		scores := make([]map[graph.Triangle]int, workers)
+		for w := range scores {
+			scores[w] = make(map[graph.Triangle]int, len(cand.Triangles))
+		}
+		mc.ForEachWorld(h, n, workers, opts.Seed, func(worker, _ int, w *graph.Graph) {
+			mine := scores[worker]
 			for tri := range decomp.WorldNucleusMembership(w, k) {
-				score[tri]++
+				mine[tri]++
+			}
+		})
+		score := scores[0]
+		for _, m := range scores[1:] {
+			for tri, c := range m {
+				score[tri] += c
 			}
 		}
 		// Qualifying triangles of the candidate.

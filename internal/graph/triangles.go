@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"probnucleus/internal/par"
+)
 
 // Triangle is a 3-clique with vertices in increasing order A < B < C.
 type Triangle struct {
@@ -53,22 +57,38 @@ func (g *Graph) Triangles() []Triangle {
 
 // ForEachTriangle calls fn once per triangle of g.
 func (g *Graph) ForEachTriangle(fn func(Triangle)) {
+	fwd := g.forwardAdjacency(1)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		trianglesRootedAt(fwd, v, fn)
+	}
+}
+
+// forwardAdjacency returns, for every vertex, its out-neighbours under the
+// degeneracy-rank orientation, sorted by id. Each slot is written only by
+// the worker that owns the vertex.
+func (g *Graph) forwardAdjacency(workers int) [][]int32 {
 	n := g.NumVertices()
 	rank := g.degeneracyRank()
-	// fwd[v] = out-neighbours of v under the rank orientation, sorted by id.
 	fwd := make([][]int32, n)
-	for v := int32(0); int(v) < n; v++ {
+	par.For(n, workers, func(vi int) {
+		v := int32(vi)
 		for _, w := range g.Neighbors(v) {
 			if rank[v] < rank[w] {
 				fwd[v] = append(fwd[v], w)
 			}
 		}
-	}
-	for v := int32(0); int(v) < n; v++ {
-		for _, w := range fwd[v] {
-			for _, x := range IntersectSorted(fwd[v], fwd[w]) {
-				fn(MakeTriangle(v, w, x))
-			}
+	})
+	return fwd
+}
+
+// trianglesRootedAt emits the triangles rooted at v under the forward
+// orientation, in the canonical nested order (w along fwd[v], then x along
+// the intersection). Every enumerator — serial or sharded — goes through
+// this one loop, which is what makes their triangle orders identical.
+func trianglesRootedAt(fwd [][]int32, v int32, fn func(Triangle)) {
+	for _, w := range fwd[v] {
+		for _, x := range IntersectSorted(fwd[v], fwd[w]) {
+			fn(MakeTriangle(v, w, x))
 		}
 	}
 }
@@ -139,16 +159,44 @@ type TriangleIndex struct {
 // NewTriangleIndex enumerates the triangles of g, assigns ids, and computes
 // each triangle's 4-clique completion list.
 func NewTriangleIndex(g *Graph) *TriangleIndex {
-	ti := &TriangleIndex{ids: make(map[Triangle]int32)}
-	g.ForEachTriangle(func(t Triangle) {
-		ti.ids[t] = int32(len(ti.Tris))
-		ti.Tris = append(ti.Tris, t)
+	return NewTriangleIndexParallel(g, 1)
+}
+
+// NewTriangleIndexParallel is NewTriangleIndex with the enumeration sharded
+// across a worker pool (workers < 1 means all available parallelism). The
+// degeneracy-ordered vertex range is split into chunks, each worker collects
+// the triangles rooted at its vertices in the serial nested order, and the
+// per-vertex slices are merged in ascending vertex order — so the resulting
+// index (triangle ids, Tris order, Comps contents) is byte-identical to the
+// serial one for every worker count.
+func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
+	n := g.NumVertices()
+	fwd := g.forwardAdjacency(workers)
+	perVertex := make([][]Triangle, n)
+	par.For(n, workers, func(vi int) {
+		var out []Triangle
+		trianglesRootedAt(fwd, int32(vi), func(t Triangle) { out = append(out, t) })
+		perVertex[vi] = out
 	})
-	ti.Comps = make([][]int32, len(ti.Tris))
-	for i, t := range ti.Tris {
-		zs := Intersect3Sorted(g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
-		ti.Comps[i] = zs
+	total := 0
+	for _, s := range perVertex {
+		total += len(s)
 	}
+	ti := &TriangleIndex{
+		Tris: make([]Triangle, 0, total),
+		ids:  make(map[Triangle]int32, total),
+	}
+	for _, s := range perVertex {
+		for _, t := range s {
+			ti.ids[t] = int32(len(ti.Tris))
+			ti.Tris = append(ti.Tris, t)
+		}
+	}
+	ti.Comps = make([][]int32, len(ti.Tris))
+	par.For(len(ti.Tris), workers, func(i int) {
+		t := ti.Tris[i]
+		ti.Comps[i] = Intersect3Sorted(g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
+	})
 	return ti
 }
 
@@ -176,13 +224,25 @@ func (ti *TriangleIndex) CliqueCount() int {
 // FourCliques enumerates all 4-cliques of the indexed graph as sorted
 // 4-tuples of vertices.
 func (ti *TriangleIndex) FourCliques() [][4]int32 {
-	var out [][4]int32
-	for i, t := range ti.Tris {
+	return ti.FourCliquesParallel(1)
+}
+
+// FourCliquesParallel is FourCliques with the per-triangle completion scan
+// sharded across a worker pool. The clique tuples are distinct and the final
+// slice is fully sorted, so the output is identical for every worker count.
+func (ti *TriangleIndex) FourCliquesParallel(workers int) [][4]int32 {
+	perTri := make([][][4]int32, len(ti.Tris))
+	par.For(len(ti.Tris), workers, func(i int) {
+		t := ti.Tris[i]
 		for _, z := range ti.Comps[i] {
 			if z > t.C { // count each clique once: z is the largest vertex
-				out = append(out, [4]int32{t.A, t.B, t.C, z})
+				perTri[i] = append(perTri[i], [4]int32{t.A, t.B, t.C, z})
 			}
 		}
+	})
+	var out [][4]int32
+	for _, s := range perTri {
+		out = append(out, s...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		for k := 0; k < 4; k++ {

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var diffWorkerCounts = []int{1, 2, 8}
+
+func randomTestGraph(rng *rand.Rand, n int, density float64) *Graph {
+	b := NewBuilder(n)
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestTriangleIndexParallelMatchesSerial: the index built by any worker
+// count is byte-identical to the serial one — same triangle order, same ids,
+// same completion lists.
+func TestTriangleIndexParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 8; iter++ {
+		g := randomTestGraph(rng, 40, 0.25)
+		want := NewTriangleIndex(g)
+		for _, w := range diffWorkerCounts {
+			got := NewTriangleIndexParallel(g, w)
+			if !reflect.DeepEqual(got.Tris, want.Tris) {
+				t.Fatalf("iter %d workers=%d: triangle order differs", iter, w)
+			}
+			if !reflect.DeepEqual(got.Comps, want.Comps) {
+				t.Fatalf("iter %d workers=%d: completion lists differ", iter, w)
+			}
+			for i, tri := range want.Tris {
+				id, ok := got.ID(tri)
+				if !ok || id != int32(i) {
+					t.Fatalf("iter %d workers=%d: id of %v = (%d,%v), want (%d,true)",
+						iter, w, tri, id, ok, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTriangleIndexParallelEmptyAndTiny: degenerate inputs must not panic or
+// diverge regardless of worker count.
+func TestTriangleIndexParallelEmptyAndTiny(t *testing.T) {
+	empty := NewBuilder(0).Build()
+	path := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	k4 := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	for _, g := range []*Graph{empty, path, k4} {
+		want := NewTriangleIndex(g)
+		for _, w := range diffWorkerCounts {
+			got := NewTriangleIndexParallel(g, w)
+			if got.Len() != want.Len() {
+				t.Fatalf("workers=%d: %d triangles, want %d", w, got.Len(), want.Len())
+			}
+			if !reflect.DeepEqual(got.Tris, want.Tris) || !reflect.DeepEqual(got.Comps, want.Comps) {
+				t.Fatalf("workers=%d: index differs on tiny graph", w)
+			}
+		}
+	}
+}
+
+// TestFourCliquesParallelMatchesSerial: clique enumeration is identical for
+// every worker count.
+func TestFourCliquesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 6; iter++ {
+		g := randomTestGraph(rng, 30, 0.35)
+		ti := NewTriangleIndex(g)
+		want := ti.FourCliques()
+		for _, w := range diffWorkerCounts {
+			got := ti.FourCliquesParallel(w)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d workers=%d: 4-clique lists differ (%d vs %d)",
+					iter, w, len(got), len(want))
+			}
+		}
+		if len(want) != ti.CliqueCount() {
+			t.Fatalf("iter %d: FourCliques len %d != CliqueCount %d",
+				iter, len(want), ti.CliqueCount())
+		}
+	}
+}

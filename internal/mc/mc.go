@@ -1,13 +1,27 @@
 // Package mc holds the Monte-Carlo sampling machinery for the global and
 // weakly-global decompositions: the Hoeffding sample-size bound (Lemma 4 of
 // the paper) and batched possible-world sampling with deterministic seeds.
+//
+// # Determinism contract
+//
+// The parallel samplers partition the world index range [0, n) into fixed
+// chunks of WorldChunk consecutive worlds. Chunk c is drawn from its own
+// PRNG seeded DeriveSeed(root, c) — a SplitMix64 mix of the root seed and
+// the chunk index. The chunk layout depends only on n, never on the worker
+// count, so world i has identical content whether it is drawn by 1 worker or
+// 64. Workers claim chunks dynamically; any per-world reduction that is
+// insensitive to processing order (per-slot writes, integer counting) is
+// therefore reproducible from the root seed alone.
 package mc
 
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"probnucleus/internal/graph"
+	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
 
@@ -54,4 +68,81 @@ func EstimateMean(pg *probgraph.Graph, n int, seed int64, f func(*graph.Graph) f
 		sum += f(s.Next())
 	}
 	return sum / float64(n)
+}
+
+// WorldChunk is the number of consecutive worlds drawn from one derived
+// PRNG stream. It amortizes PRNG construction without tying world content to
+// the worker count (see the package determinism contract).
+const WorldChunk = 64
+
+// DeriveSeed maps (root seed, chunk index) to the seed of the chunk's PRNG
+// with the SplitMix64 finalizer, decorrelating the streams of adjacent
+// chunks far better than root+chunk would.
+func DeriveSeed(root int64, chunk int) int64 {
+	z := uint64(root) + uint64(chunk+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ParallelWorlds draws n possible worlds of pg over a worker pool
+// (workers < 1 means all available parallelism). World i is the
+// (i mod WorldChunk)-th draw of the PRNG seeded DeriveSeed(seed, i/WorldChunk),
+// so the returned slice is byte-identical for every worker count, including
+// the serial workers = 1 run.
+func ParallelWorlds(pg *probgraph.Graph, n, workers int, seed int64) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	ForEachWorld(pg, n, workers, seed, func(_, i int, w *graph.Graph) {
+		out[i] = w
+	})
+	return out
+}
+
+// ForEachWorld samples the same n worlds as ParallelWorlds and invokes
+// fn(worker, i, world) for each, where worker ∈ [0, workers) identifies the
+// goroutine so callers can keep per-worker accumulators. World content is
+// deterministic; the worker↔world assignment is not — only order-insensitive
+// reductions (per-index writes, commutative sums) preserve reproducibility.
+func ForEachWorld(pg *probgraph.Graph, n, workers int, seed int64, fn func(worker, i int, w *graph.Graph)) {
+	workers = par.Workers(workers)
+	if n <= 0 {
+		return
+	}
+	chunks := (n + WorldChunk - 1) / WorldChunk
+	runChunk := func(worker, c int) {
+		rng := rand.New(rand.NewSource(DeriveSeed(seed, c)))
+		lo := c * WorldChunk
+		hi := lo + WorldChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(worker, i, pg.SampleWorld(rng))
+		}
+	}
+	if workers == 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			runChunk(0, c)
+		}
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				runChunk(worker, c)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

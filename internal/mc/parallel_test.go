@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"testing"
+
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+var diffWorkerCounts = []int{1, 2, 8}
+
+func randomishProbGraph(n int) *probgraph.Graph {
+	// A fixed, hand-rolled probability pattern keeps this test free of any
+	// PRNG other than the one under test.
+	var es []probgraph.ProbEdge
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if (u+2*v)%3 == 0 {
+				p := 0.1 + 0.8*float64((u*7+v*13)%10)/10
+				es = append(es, probgraph.ProbEdge{U: u, V: v, P: p})
+			}
+		}
+	}
+	return probgraph.MustNew(n, es)
+}
+
+func worldsEqual(a, b *graph.Graph) bool {
+	if a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelWorldsDifferential: the n-world sample is identical for every
+// worker count — the chunk-derived seeding makes world i's content a
+// function of (seed, i) only.
+func TestParallelWorldsDifferential(t *testing.T) {
+	pg := randomishProbGraph(24)
+	// 150 worlds spans multiple chunks (WorldChunk = 64) including a ragged
+	// final chunk.
+	const n = 150
+	base := ParallelWorlds(pg, n, 1, 99)
+	if len(base) != n {
+		t.Fatalf("serial sample has %d worlds, want %d", len(base), n)
+	}
+	for _, w := range diffWorkerCounts[1:] {
+		got := ParallelWorlds(pg, n, w, 99)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d worlds, want %d", w, len(got), n)
+		}
+		for i := range got {
+			if !worldsEqual(got[i], base[i]) {
+				t.Fatalf("workers=%d: world %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestParallelWorldsSeedSensitivity: different root seeds must give
+// different world sequences.
+func TestParallelWorldsSeedSensitivity(t *testing.T) {
+	pg := randomishProbGraph(24)
+	a := ParallelWorlds(pg, 64, 2, 1)
+	b := ParallelWorlds(pg, 64, 2, 2)
+	same := true
+	for i := range a {
+		if !worldsEqual(a[i], b[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 64-world sequences (suspicious)")
+	}
+}
+
+// TestForEachWorldVisitsEveryIndexOnce across worker counts.
+func TestForEachWorldVisitsEveryIndexOnce(t *testing.T) {
+	pg := randomishProbGraph(10)
+	const n = 130
+	for _, w := range diffWorkerCounts {
+		visits := make([]int32, n)
+		done := make(chan struct{})
+		counts := make(chan int, n)
+		go func() {
+			for i := range counts {
+				visits[i]++
+			}
+			close(done)
+		}()
+		ForEachWorld(pg, n, w, 7, func(_, i int, world *graph.Graph) {
+			if world == nil {
+				t.Errorf("nil world at index %d", i)
+			}
+			counts <- i
+		})
+		close(counts)
+		<-done
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+}
+
+// TestDeriveSeedDecorrelates: adjacent chunks must get distinct seeds, and
+// the same (root, chunk) pair must always map to the same seed.
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	seen := make(map[int64]int)
+	for c := 0; c < 4096; c++ {
+		s := DeriveSeed(12345, c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("chunks %d and %d derived the same seed %d", prev, c, s)
+		}
+		seen[s] = c
+	}
+	if DeriveSeed(1, 7) != DeriveSeed(1, 7) {
+		t.Error("DeriveSeed is not a pure function")
+	}
+	if DeriveSeed(1, 7) == DeriveSeed(2, 7) {
+		t.Error("different roots derived the same chunk seed")
+	}
+}
+
+// TestParallelWorldsStatistics: the chunked sampler still estimates edge
+// probabilities correctly (it is a different stream than Sampler, not a
+// different distribution).
+func TestParallelWorldsStatistics(t *testing.T) {
+	pg := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.35}})
+	n := SampleSize(0.03, 0.01)
+	hits := 0
+	for _, w := range ParallelWorlds(pg, n, 4, 7) {
+		if w.HasEdge(0, 1) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.32 || got > 0.38 {
+		t.Errorf("estimated edge probability = %v, want 0.35 ± 0.03", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package par provides the bounded worker-pool primitives shared by the
+// parallel execution paths of the decomposition packages (graph enumeration,
+// tail scoring, Monte-Carlo sampling).
+//
+// Every helper follows the same determinism discipline: work item i may only
+// write state owned by i (a slice slot, a per-worker accumulator), so the
+// result of a parallel run is byte-identical to the serial run regardless of
+// worker count or scheduling. Callers that need per-worker scratch state use
+// ForWorker and merge the per-worker results in worker order (or with a
+// commutative reduction such as integer summation).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values < 1 mean "use all
+// available parallelism" (runtime.GOMAXPROCS).
+func Workers(requested int) int {
+	if requested >= 1 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkSize picks a grab size that amortizes the atomic counter without
+// starving workers at the tail of the range.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// For runs fn(i) for every i in [0, n), fanning out over the given number of
+// workers (resolved with Workers). With workers ≤ 1 it degenerates to a plain
+// loop with no goroutine or atomic overhead. fn must confine its writes to
+// state owned by index i.
+func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker id (in [0, workers)) passed to fn, so
+// callers can keep per-worker accumulators. The assignment of indices to
+// workers is dynamic and NOT deterministic; only reductions that are
+// insensitive to that assignment (commutative, or per-index writes) preserve
+// determinism.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := chunkSize(n, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,153 @@
+package pbd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests over random probability vectors: the structural guarantees
+// the decomposition relies on, independent of any particular input.
+
+// randProbsIn draws c probabilities uniformly from [lo, hi).
+func randProbsIn(rng *rand.Rand, c int, lo, hi float64) []float64 {
+	probs := make([]float64, c)
+	for i := range probs {
+		probs[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return probs
+}
+
+// TestMaxKMonotoneNonIncreasingInT: tail(k) = Pr[ζ ≥ k] is non-increasing in
+// k, so max{k : tail(k) ≥ t} must be non-increasing as the threshold t grows.
+// This is the property the peeling loop's floor logic depends on.
+func TestMaxKMonotoneNonIncreasingInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	thresholds := []float64{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 0.99}
+	for iter := 0; iter < 50; iter++ {
+		c := 1 + rng.Intn(120)
+		probs := randProbsIn(rng, c, 0.001, 0.999)
+		prev := MaxKWith(probs, thresholds[0], MethodDP)
+		if prev > c {
+			t.Fatalf("iter %d: MaxK %d exceeds vector length %d", iter, prev, c)
+		}
+		for _, th := range thresholds[1:] {
+			k := MaxKWith(probs, th, MethodDP)
+			if k > prev {
+				t.Fatalf("iter %d: MaxK rose from %d to %d as t grew to %v", iter, prev, k, th)
+			}
+			prev = k
+		}
+	}
+}
+
+// safeRegime describes an input family on which the paper applies one
+// approximation method (the applicability conditions of Sec. 5.3, matching
+// the DefaultHyper selection rules).
+type safeRegime struct {
+	name   string
+	method Method
+	gen    func(rng *rand.Rand) []float64
+}
+
+// TestApproximationsWithinOneOfDP: on its safe regime, every approximation's
+// MaxKWith answer stays within ±1 of the exact DP answer. This is the
+// accuracy contract behind ModeAP's near-identical decomposition results
+// (Table 2 of the paper).
+func TestApproximationsWithinOneOfDP(t *testing.T) {
+	regimes := []safeRegime{
+		{
+			// CLT regime: c ≥ A = 200 Bernoullis with non-degenerate variance.
+			name: "CLT", method: MethodCLT,
+			gen: func(rng *rand.Rand) []float64 {
+				return randProbsIn(rng, 200+rng.Intn(100), 0.2, 0.8)
+			},
+		},
+		{
+			// Poisson (Le Cam) regime: c < B = 100 rare events, p < C = 0.25;
+			// the Le Cam total-variation bound 2Σp² is small.
+			name: "Poisson", method: MethodPoisson,
+			gen: func(rng *rand.Rand) []float64 {
+				return randProbsIn(rng, 20+rng.Intn(60), 0.005, 0.08)
+			},
+		},
+		{
+			// Translated Poisson regime: Σp² > 1, where the translation
+			// absorbs the mean and the Röllin bound controls the error.
+			name: "TranslatedPoisson", method: MethodTranslatedPoisson,
+			gen: func(rng *rand.Rand) []float64 {
+				return randProbsIn(rng, 40+rng.Intn(60), 0.35, 0.85)
+			},
+		},
+		{
+			// Binomial regime: near-homogeneous probabilities, variance ratio
+			// σ²/Var(Bin(c, µ/c)) ≥ D = 0.9.
+			name: "Binomial", method: MethodBinomial,
+			gen: func(rng *rand.Rand) []float64 {
+				base := 0.2 + 0.6*rng.Float64()
+				probs := make([]float64, 30+rng.Intn(70))
+				for i := range probs {
+					probs[i] = base + 0.02*(rng.Float64()-0.5)
+				}
+				return probs
+			},
+		},
+	}
+	thresholds := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	rng := rand.New(rand.NewSource(103))
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			for iter := 0; iter < 40; iter++ {
+				probs := reg.gen(rng)
+				for _, th := range thresholds {
+					exact := MaxKWith(probs, th, MethodDP)
+					approx := MaxKWith(probs, th, reg.method)
+					if d := approx - exact; d < -1 || d > 1 {
+						t.Fatalf("iter %d c=%d t=%v: %s MaxK = %d, DP = %d (|Δ| > 1)",
+							iter, len(probs), th, reg.name, approx, exact)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApproximationsMonotoneInT: the serial peeling contract (scores only
+// ever decrease) also needs every approximation's MaxK to be non-increasing
+// in t on its safe regime.
+func TestApproximationsMonotoneInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	thresholds := []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95}
+	for _, m := range []Method{MethodCLT, MethodPoisson, MethodTranslatedPoisson, MethodBinomial} {
+		for iter := 0; iter < 25; iter++ {
+			probs := randProbsIn(rng, 5+rng.Intn(150), 0.05, 0.9)
+			prev := MaxKWith(probs, thresholds[0], m)
+			for _, th := range thresholds[1:] {
+				k := MaxKWith(probs, th, m)
+				if k > prev {
+					t.Fatalf("%v iter %d: MaxK rose from %d to %d as t grew to %v",
+						m, iter, prev, k, th)
+				}
+				prev = k
+			}
+		}
+	}
+}
+
+// TestChooseSelectsExpectedRegimeMethod: the safe-regime generators above
+// really do land in the regime whose method they claim — i.e. the Sec. 5.3
+// selector picks that method (so the ±1 property covers what ModeAP runs).
+func TestChooseSelectsExpectedRegimeMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	clt := randProbsIn(rng, 250, 0.2, 0.8)
+	if m := Choose(clt, DefaultHyper); m != MethodCLT {
+		t.Errorf("CLT regime chose %v", m)
+	}
+	poisson := randProbsIn(rng, 50, 0.005, 0.08)
+	if m := Choose(poisson, DefaultHyper); m != MethodPoisson {
+		t.Errorf("Poisson regime chose %v", m)
+	}
+	tp := randProbsIn(rng, 60, 0.35, 0.85)
+	if m := Choose(tp, DefaultHyper); m != MethodTranslatedPoisson {
+		t.Errorf("TranslatedPoisson regime chose %v", m)
+	}
+}

@@ -1,0 +1,133 @@
+package probgraph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// maxFuzzVertexID bounds the vertex ids the fuzz harness will follow into
+// graph construction: the CSR builder allocates O(max id) memory, which is
+// legitimate for sparse id spaces but would let the fuzzer spend its budget
+// on multi-gigabyte allocations instead of parser states.
+const maxFuzzVertexID = 1 << 20
+
+func hasHugeVertexID(input string) bool {
+	for _, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if i >= 2 {
+				break // third field is the probability
+			}
+			if id, err := strconv.ParseInt(f, 10, 32); err == nil && id > maxFuzzVertexID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuzzReadEdgeList hammers the untrusted-input surface: ReadEdgeList must
+// never panic, and whenever it accepts an input, the resulting graph must
+// satisfy the probabilistic-graph invariants and survive a write/read
+// round-trip.
+func FuzzReadEdgeList(f *testing.F) {
+	for _, seed := range []string{
+		"0 1 0.5\n1 2 0.8\n0 2 0.9\n", // well-formed triangle
+		"# comment\n% comment\n\n3 4\n",
+		"0 1 1\n",
+		"0 1 0.5",             // no trailing newline
+		"0 1 1.5\n",           // probability > 1
+		"0 1 -0.25\n",         // negative probability
+		"0 1 0\n",             // zero probability is rejected
+		"0 1 NaN\n",           // NaN probability
+		"0 1 Inf\n",           // infinite probability
+		"5 5 0.5\n",           // self-loop
+		"0 1 0.5\n0 1 0.6\n",  // duplicate edge
+		"1 0 0.5\n0 1 0.5\n",  // duplicate edge, reversed orientation
+		"-1 2 0.5\n",          // negative vertex id
+		"a b 0.5\n",           // non-numeric vertices
+		"0 1 p\n",             // non-numeric probability
+		"0\n",                 // too few fields
+		"0 1 0.5 extra\n",     // too many fields
+		"99999999999 1 0.5\n", // id overflows int32
+		"0 1 0.5\r\n1 2 0.5\r\n",
+		"\x00\x01\x02",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if hasHugeVertexID(input) {
+			t.Skip("vertex id beyond fuzz resource bound")
+		}
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: any error is fine, panics are not
+		}
+		seen := make(map[[2]int32]bool)
+		for _, e := range g.Edges() {
+			if !(e.P > 0 && e.P <= 1) {
+				t.Errorf("accepted edge (%d,%d) with probability %v outside (0,1]", e.U, e.V, e.P)
+			}
+			if e.U == e.V {
+				t.Errorf("accepted self-loop on %d", e.U)
+			}
+			if e.U < 0 || e.V < 0 || int(e.U) >= g.NumVertices() || int(e.V) >= g.NumVertices() {
+				t.Errorf("edge (%d,%d) outside vertex range [0,%d)", e.U, e.V, g.NumVertices())
+			}
+			key := [2]int32{e.U, e.V}
+			if seen[key] {
+				t.Errorf("accepted duplicate edge (%d,%d)", e.U, e.V)
+			}
+			seen[key] = true
+		}
+		// Round-trip: what we write must parse back to the same graph.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("WriteEdgeList: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Errorf("round-trip edge count %d != %d", g2.NumEdges(), g.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if g2.Prob(e.U, e.V) != e.P {
+				t.Errorf("round-trip probability of (%d,%d) = %v, want %v",
+					e.U, e.V, g2.Prob(e.U, e.V), e.P)
+			}
+		}
+	})
+}
+
+// TestReadEdgeListRejectsHostileInputs pins the error (not panic) behaviour
+// for each malformed-input class the fuzz seeds cover, so the contract holds
+// even when the fuzzer is not running.
+func TestReadEdgeListRejectsHostileInputs(t *testing.T) {
+	for _, tc := range []struct{ name, input string }{
+		{"probability above 1", "0 1 1.5\n"},
+		{"negative probability", "0 1 -0.25\n"},
+		{"zero probability", "0 1 0\n"},
+		{"NaN probability", "0 1 NaN\n"},
+		{"self-loop", "5 5 0.5\n"},
+		{"duplicate edge", "0 1 0.5\n0 1 0.6\n"},
+		{"duplicate reversed", "1 0 0.5\n0 1 0.5\n"},
+		{"negative vertex", "-1 2 0.5\n"},
+		{"non-numeric vertex", "a b 0.5\n"},
+		{"non-numeric probability", "0 1 p\n"},
+		{"too few fields", "0\n"},
+		{"too many fields", "0 1 0.5 extra\n"},
+		{"id overflow", "99999999999 1 0.5\n"},
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: input %q accepted, want error", tc.name, tc.input)
+		}
+	}
+}

@@ -86,7 +86,9 @@ const (
 	ModeAP = core.ModeAP
 )
 
-// Options configures LocalDecompose.
+// Options configures LocalDecompose. Options.Workers bounds the worker pool
+// used for triangle enumeration and support-tail scoring (0 = all cores,
+// 1 = serial); results are byte-identical for every worker count.
 type Options = core.Options
 
 // LocalResult carries the per-triangle probabilistic nucleusness scores.
@@ -104,7 +106,10 @@ func LocalDecompose(pg *Graph, theta float64, opts Options) (*LocalResult, error
 // --- Global and weakly-global decomposition ---
 
 // MCOptions configures the Monte-Carlo estimation used by the global and
-// weakly-global algorithms.
+// weakly-global algorithms. MCOptions.Workers bounds the sampling worker
+// pool (0 = all cores, 1 = serial); possible worlds are drawn from
+// chunk-derived PRNGs, so estimates depend only on Seed, never on the
+// worker count.
 type MCOptions = core.MCOptions
 
 // ProbNucleus is a nucleus found by the global or weakly-global algorithm.
@@ -126,6 +131,18 @@ func WeaklyGlobalNuclei(pg *Graph, k int, theta float64, opts MCOptions) ([]Prob
 // HoeffdingSampleSize returns the number of Monte-Carlo samples needed for
 // an (ε,δ) estimate (Lemma 4).
 func HoeffdingSampleSize(eps, delta float64) int { return mc.SampleSize(eps, delta) }
+
+// World is one sampled possible world: a deterministic graph over the same
+// vertex-id space as the probabilistic graph it was drawn from.
+type World = graph.Graph
+
+// SampleWorlds draws n possible worlds of pg over a worker pool (workers
+// 0 = all cores, 1 = serial). World i is drawn from the PRNG of world chunk
+// i/mc.WorldChunk, seeded by a SplitMix64 mix of seed and the chunk index,
+// so the result depends only on (n, seed) — never on the worker count.
+func SampleWorlds(pg *Graph, n, workers int, seed int64) []*World {
+	return mc.ParallelWorlds(pg, n, workers, seed)
+}
 
 // --- Baselines ---
 

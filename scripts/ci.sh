@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI gate for probnucleus.
+#
+# Runs the tier-1 verify (build + tests) plus the static and dynamic race
+# checks that exercise the parallel decomposition engine: `go vet` over every
+# package and the full test suite under the race detector. The differential
+# tests in internal/core, internal/graph, and internal/mc run the worker
+# pools at 1/2/8 workers, so `go test -race` drives every concurrent path.
+#
+# Usage: scripts/ci.sh [package-pattern]   (default ./...)
+set -eu
+
+pkgs="${1:-./...}"
+
+echo "==> go build $pkgs"
+go build "$pkgs"
+
+echo "==> go vet $pkgs"
+go vet "$pkgs"
+
+echo "==> go test $pkgs"
+go test "$pkgs"
+
+echo "==> go test -race $pkgs"
+go test -race "$pkgs"
+
+echo "CI OK"
