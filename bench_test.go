@@ -53,6 +53,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 func benchLocal(b *testing.B, name string, scale, theta float64, mode pn.Mode) {
 	g := benchGraph(name, scale)
 	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pn.LocalDecompose(g, theta, pn.Options{Mode: mode}); err != nil {
@@ -169,6 +170,7 @@ func BenchmarkFig6Approximations(b *testing.B) {
 
 func BenchmarkTable3Nucleus(b *testing.B) {
 	g := benchGraph("dblp", 0.15)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pn.LocalDecompose(g, 0.3, pn.Options{Mode: pn.ModeAP})
 		if err != nil {
@@ -186,6 +188,7 @@ func BenchmarkTable3Nucleus(b *testing.B) {
 
 func BenchmarkTable3Truss(b *testing.B) {
 	g := benchGraph("dblp", 0.15)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pn.TrussDecompose(g, 0.3)
 		if err != nil {
@@ -199,6 +202,7 @@ func BenchmarkTable3Truss(b *testing.B) {
 
 func BenchmarkTable3Core(b *testing.B) {
 	g := benchGraph("dblp", 0.15)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pn.CoreDecompose(g, 0.3)
 		if err != nil {

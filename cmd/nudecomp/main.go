@@ -11,12 +11,20 @@
 //
 // -workers bounds the parallel execution engine (0 = all cores, 1 = serial);
 // every mode produces identical output for every worker count.
+//
+// -cpuprofile and -memprofile write pprof profiles of the decomposition
+// phase (graph loading excluded), so hot-path regressions are diagnosable
+// straight from the CLI:
+//
+//	nudecomp -dataset dblp -theta 0.3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	pn "probnucleus"
@@ -34,6 +42,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
 		top     = flag.Int("top", 5, "print at most this many nuclei per level")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the decomposition to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile taken after the decomposition to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +66,19 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, dmax %d, p̄ %.3f, %d triangles\n",
 		st.NumVertices, st.NumEdges, st.MaxDegree, st.AvgProb, st.NumTriangles)
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Decomposition errors are collected rather than fatal()'d so the CPU
+	// profile is flushed even on failure — the very run where it is wanted.
+	var runErr error
 	switch *mode {
 	case "dp", "ap":
 		m := pn.ModeDP
@@ -64,23 +87,44 @@ func main() {
 		}
 		res, err := pn.LocalDecompose(pg, *theta, pn.Options{Mode: m, Workers: *workers})
 		if err != nil {
-			fatal(err)
+			runErr = err
+			break
 		}
 		printLocal(res, *top)
 	case "global":
 		nuclei, err := pn.GlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
 		if err != nil {
-			fatal(err)
+			runErr = err
+			break
 		}
 		printProbNuclei("g", nuclei, *k, *theta, *top)
 	case "weak":
 		nuclei, err := pn.WeaklyGlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
 		if err != nil {
-			fatal(err)
+			runErr = err
+			break
 		}
 		printProbNuclei("w", nuclei, *k, *theta, *top)
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		runErr = fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprof != "" && runErr == nil {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize the live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }
 

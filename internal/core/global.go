@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
@@ -201,7 +202,7 @@ func (cs *candidateSpace) closure(seed int32, k int) []int32 {
 	for t := range member {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -270,7 +271,7 @@ func vertexSet(pg *probgraph.Graph) []int32 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -300,35 +301,33 @@ func buildProbNucleus(ti *graph.TriangleIndex, tris []int32, k int, theta, minPr
 	for e := range es {
 		nuc.Edges = append(nuc.Edges, e)
 	}
-	sort.Slice(nuc.Vertices, func(i, j int) bool { return nuc.Vertices[i] < nuc.Vertices[j] })
-	sort.Slice(nuc.Edges, func(i, j int) bool {
-		if nuc.Edges[i].U != nuc.Edges[j].U {
-			return nuc.Edges[i].U < nuc.Edges[j].U
+	slices.Sort(nuc.Vertices)
+	slices.SortFunc(nuc.Edges, func(a, b graph.Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
 		}
-		return nuc.Edges[i].V < nuc.Edges[j].V
+		return cmp.Compare(a.V, b.V)
 	})
-	sort.Slice(nuc.Triangles, func(i, j int) bool {
-		a, b := nuc.Triangles[i], nuc.Triangles[j]
-		if a.A != b.A {
-			return a.A < b.A
+	slices.SortFunc(nuc.Triangles, func(a, b graph.Triangle) int {
+		if c := cmp.Compare(a.A, b.A); c != 0 {
+			return c
 		}
-		if a.B != b.B {
-			return a.B < b.B
+		if c := cmp.Compare(a.B, b.B); c != 0 {
+			return c
 		}
-		return a.C < b.C
+		return cmp.Compare(a.C, b.C)
 	})
 	return nuc
 }
 
 func sortNuclei(ns []ProbNucleus) {
-	sort.Slice(ns, func(i, j int) bool {
-		a, b := ns[i], ns[j]
-		if len(a.Vertices) != len(b.Vertices) {
-			return len(a.Vertices) > len(b.Vertices)
+	slices.SortFunc(ns, func(a, b ProbNucleus) int {
+		if c := cmp.Compare(len(b.Vertices), len(a.Vertices)); c != 0 {
+			return c
 		}
 		if len(a.Vertices) == 0 || len(b.Vertices) == 0 {
-			return false
+			return 0
 		}
-		return a.Vertices[0] < b.Vertices[0]
+		return cmp.Compare(a.Vertices[0], b.Vertices[0])
 	})
 }

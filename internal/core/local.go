@@ -13,7 +13,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"probnucleus/internal/bucket"
 	"probnucleus/internal/decomp"
@@ -28,7 +28,7 @@ type Mode int
 
 const (
 	// ModeDP evaluates every support query with the exact dynamic program
-	// (Eq. 7).
+	// (Eq. 7), maintained incrementally across peeling steps.
 	ModeDP Mode = iota
 	// ModeAP evaluates support queries with the statistical approximation
 	// selected by the Sec. 5.3 rule chain, falling back to DP when no
@@ -56,8 +56,16 @@ func (o Options) workerCount() int { return par.Workers(o.Workers) }
 
 // rescoreParallelCutoff is the minimum number of affected triangles for
 // which a peeling step fans its re-scoring out to the worker pool; below it
-// the goroutine overhead outweighs the DP work.
+// the pool overhead outweighs the scoring work.
 const rescoreParallelCutoff = 16
+
+// scoreScratch is the per-worker reusable state of the scoring hot path: a
+// staging buffer for live clique probabilities (AP mode) and the DP pmf
+// buffer, so no support query allocates.
+type scoreScratch struct {
+	probs []float64
+	dp    pbd.Scratch
+}
 
 // LocalResult is the outcome of ℓ-NuDecomp: the triangle index of the graph
 // and the θ-nucleusness ν(△) of every triangle — the largest k such that △
@@ -71,6 +79,14 @@ type LocalResult struct {
 }
 
 // LocalDecompose runs Algorithm 1 (ℓ-NuDecomp) on pg with threshold θ.
+//
+// Support queries are answered from one incrementally-maintained
+// Poisson-binomial distribution per triangle (pbd.Dist): when a peeling step
+// kills a 4-clique, its Bernoulli factor is deconvolved out of each affected
+// triangle's pmf in O(k) instead of reconvolving all surviving cliques in
+// O(c·k), and the Dist's stability guard rebuilds from scratch whenever that
+// could change an answer — so the output is byte-identical to the
+// from-scratch scorer.
 func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
 	if !(theta > 0 && theta <= 1) {
 		return nil, fmt.Errorf("core: theta = %v outside (0,1]", theta)
@@ -79,38 +95,53 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		opts.Hyper = pbd.DefaultHyper
 	}
 	workers := opts.workerCount()
+	pool := par.NewPool(workers)
+	defer pool.Close()
 	ti := graph.NewTriangleIndexParallel(pg.G, workers)
 	ca := decomp.NewCliqueAdjFromIndex(ti)
 	n := ti.Len()
 
-	// Per-triangle existence probability Pr(△) and per-completion clique
-	// probabilities Pr(E_z) = p(u,z)·p(v,z)·p(w,z) (Sec. 5.1). Each slot is
-	// written by exactly one worker.
+	// Per-triangle existence probability Pr(△) and the support distribution
+	// over its 4-clique factors Pr(E_z) = p(u,z)·p(v,z)·p(w,z) (Sec. 5.1),
+	// held as an incrementally-maintained Poisson binomial whose slot order
+	// matches the completion order of ti.Comps[t]. Each slot is written by
+	// exactly one worker.
 	triProb := make([]float64, n)
-	compProb := make([][]float64, n)
-	par.For(n, workers, func(t int) {
+	dists := make([]pbd.Dist, n)
+	// Factor probabilities and pmf buffers live in two flat arenas sliced
+	// per triangle (the truncation bound never exceeds the live factor
+	// count, so a pmf span of the completion count never reallocates).
+	off := make([]int, n+1)
+	for t := 0; t < n; t++ {
+		off[t+1] = off[t] + len(ti.Comps[t])
+	}
+	psFlat := make([]float64, off[n])
+	pmfFlat := make([]float64, off[n])
+	pool.For(n, func(t int) {
 		tri := ti.Tris[t]
 		triProb[t] = pg.TriangleProb(tri)
-		zs := ti.Comps[t]
-		ps := make([]float64, len(zs))
-		for i, z := range zs {
-			ps[i] = pg.Prob(tri.A, z) * pg.Prob(tri.B, z) * pg.Prob(tri.C, z)
+		ps := psFlat[off[t]:off[t]:off[t+1]]
+		for _, z := range ti.Comps[t] {
+			ps = append(ps, pg.Prob(tri.A, z)*pg.Prob(tri.B, z)*pg.Prob(tri.C, z))
 		}
-		compProb[t] = ps
+		dists[t].InitBuffered(ps, pmfFlat[off[t]:off[t]:off[t+1]])
 	})
 
 	nu := make([]int, n)
+	scr := make([]scoreScratch, workers)
 
 	// Score evaluates max{k : Pr(△)·Pr[ζ ≥ k] ≥ θ} over the live cliques of
-	// triangle t. It reads only frozen clique state, so concurrent calls for
-	// distinct triangles are safe; method tallies are applied by the caller.
-	score := func(t int32) (int, pbd.Method) {
-		probs := aliveProbs(ca, compProb, t)
+	// triangle t. It touches only triangle t's distribution and the caller's
+	// scratch, so concurrent calls for distinct triangles with distinct
+	// scratches are safe; method tallies are applied by the caller.
+	score := func(t int32, sc *scoreScratch) (int, pbd.Method) {
 		thr := theta / triProb[t]
 		if opts.Mode == ModeAP {
-			return pbd.ApproxMaxK(probs, thr, opts.Hyper)
+			probs := dists[t].AppendAlive(sc.probs[:0])
+			sc.probs = probs
+			return pbd.ApproxMaxKScratch(probs, thr, opts.Hyper, &sc.dp)
 		}
-		return pbd.MaxK(probs, thr), pbd.MethodDP
+		return dists[t].MaxK(thr), pbd.MethodDP
 	}
 	tally := func(m pbd.Method) {
 		if opts.MethodCounts != nil {
@@ -121,24 +152,25 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 	// Phase 0: triangles with Pr(△) < θ can belong to no nucleus (even
 	// k = 0 requires the triangle itself to exist with probability ≥ θ).
 	// Remove them up front; their cliques disappear for everyone else.
+	drop := func(o int32, slot int) { dists[o].RemoveFactor(slot) }
 	for t := int32(0); int(t) < n; t++ {
 		if triProb[t] < theta {
 			nu[t] = -1
-			ca.RemoveTriangle(t, nil)
+			ca.RemoveTriangle(t, drop)
 		}
 	}
 
 	// Phase 1: initial κ scores for the surviving triangles, evaluated in
-	// parallel (every SupportMaxK call is independent) and pushed serially in
+	// parallel (every support query is independent) and pushed serially in
 	// ascending id order so the queue layout matches the serial run.
 	initK := make([]int, n)
 	initM := make([]pbd.Method, n)
-	par.For(n, workers, func(idx int) {
+	pool.ForWorker(n, func(w, idx int) {
 		t := int32(idx)
 		if nu[t] == -1 {
 			return
 		}
-		initK[t], initM[t] = score(t)
+		initK[t], initM[t] = score(t, &scr[w])
 	})
 	q := bucket.New(n, maxAliveCount(ca))
 	for t := int32(0); int(t) < n; t++ {
@@ -151,12 +183,13 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 
 	// Phase 2: peel (Algorithm 1). Pop a minimum-κ triangle, fix its
 	// nucleusness, and re-score the live triangles that shared a 4-clique
-	// with it. The affected set is processed in sorted id order — and its
-	// scores may be computed by the worker pool, since all clique removals
-	// happen before any re-score — so queue updates land in a deterministic
-	// order for every worker count.
+	// with it. The affected set is deduplicated with a stamp array and
+	// processed in sorted id order — and its scores may be computed by the
+	// worker pool, since all clique removals happen before any re-score — so
+	// queue updates land in a deterministic order for every worker count.
 	floor := 0
-	affected := make(map[int32]bool)
+	stamp := make([]int32, n) // last peel round that queued the triangle
+	round := int32(0)
 	var todo []int32
 	var nks []int
 	var nms []pbd.Method
@@ -166,19 +199,22 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 			floor = k
 		}
 		nu[t] = floor
-		clear(affected)
-		ca.RemoveTriangle(t, func(o int32) {
-			if q.Key(o) > floor {
-				affected[o] = true
-			}
-		})
+		round++
 		todo = todo[:0]
-		for o := range affected {
-			if q.Key(o) > floor {
+		ca.RemoveTriangle(t, func(o int32, slot int) {
+			if q.Key(o) <= floor {
+				// Keys never rise and floor never falls, so o can never be
+				// re-scored again; skipping the deconvolution is safe and its
+				// distribution is simply never read after this point.
+				return
+			}
+			dists[o].RemoveFactor(slot)
+			if stamp[o] != round {
+				stamp[o] = round
 				todo = append(todo, o)
 			}
-		}
-		sort.Slice(todo, func(i, j int) bool { return todo[i] < todo[j] })
+		})
+		slices.Sort(todo)
 		if cap(nks) < len(todo) {
 			nks = make([]int, len(todo))
 			nms = make([]pbd.Method, len(todo))
@@ -186,12 +222,12 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		nks = nks[:len(todo)]
 		nms = nms[:len(todo)]
 		if workers > 1 && len(todo) >= rescoreParallelCutoff {
-			par.For(len(todo), workers, func(i int) {
-				nks[i], nms[i] = score(todo[i])
+			pool.ForWorker(len(todo), func(w, i int) {
+				nks[i], nms[i] = score(todo[i], &scr[w])
 			})
 		} else {
 			for i, o := range todo {
-				nks[i], nms[i] = score(o)
+				nks[i], nms[i] = score(o, &scr[0])
 			}
 		}
 		for i, o := range todo {
@@ -206,17 +242,6 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		}
 	}
 	return &LocalResult{PG: pg, TI: ti, Theta: theta, Nucleusness: nu}, nil
-}
-
-func aliveProbs(ca *decomp.CliqueAdj, compProb [][]float64, t int32) []float64 {
-	alive := ca.Alive[t]
-	out := make([]float64, 0, ca.AliveCount[t])
-	for i, ok := range alive {
-		if ok {
-			out = append(out, compProb[t][i])
-		}
-	}
-	return out
 }
 
 func maxAliveCount(ca *decomp.CliqueAdj) int {
@@ -261,18 +286,21 @@ func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.Tria
 	ti := graph.NewTriangleIndexParallel(pg.G, workers)
 	kappa := make([]int, ti.Len())
 	methods := make([]pbd.Method, ti.Len())
-	par.For(ti.Len(), workers, func(t int) {
+	scr := make([]scoreScratch, workers)
+	par.ForWorker(ti.Len(), workers, func(w, t int) {
+		sc := &scr[w]
 		tri := ti.Tris[t]
 		pTri := pg.TriangleProb(tri)
-		probs := make([]float64, len(ti.Comps[t]))
-		for i, z := range ti.Comps[t] {
-			probs[i] = pg.Prob(tri.A, z) * pg.Prob(tri.B, z) * pg.Prob(tri.C, z)
+		probs := sc.probs[:0]
+		for _, z := range ti.Comps[t] {
+			probs = append(probs, pg.Prob(tri.A, z)*pg.Prob(tri.B, z)*pg.Prob(tri.C, z))
 		}
+		sc.probs = probs
 		thr := theta / pTri
 		if opts.Mode == ModeAP {
-			kappa[t], methods[t] = pbd.ApproxMaxK(probs, thr, opts.Hyper)
+			kappa[t], methods[t] = pbd.ApproxMaxKScratch(probs, thr, opts.Hyper, &sc.dp)
 		} else {
-			kappa[t], methods[t] = pbd.MaxK(probs, thr), pbd.MethodDP
+			kappa[t], methods[t] = pbd.MaxKScratch(probs, thr, &sc.dp), pbd.MethodDP
 		}
 	})
 	if opts.MethodCounts != nil && opts.Mode == ModeAP {

@@ -33,15 +33,19 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	workers := opts.workerCount()
 
 	var out []ProbNucleus
+	// global_score[△]: number of sampled worlds whose deterministic nucleus
+	// decomposition places △ inside a k-nucleus. Each worker scores into its
+	// own map; the merge is a commutative sum, so the totals match the serial
+	// run for every worker count. The maps are allocated once and cleared
+	// between candidates.
+	scores := make([]map[graph.Triangle]int, workers)
+	for w := range scores {
+		scores[w] = make(map[graph.Triangle]int)
+	}
 	for _, cand := range local.NucleiForK(k) {
 		h := candidateSubgraph(pg, cand)
-		// global_score[△]: number of sampled worlds whose deterministic
-		// nucleus decomposition places △ inside a k-nucleus. Each worker
-		// scores into its own map; the merge is a commutative sum, so the
-		// totals match the serial run for every worker count.
-		scores := make([]map[graph.Triangle]int, workers)
 		for w := range scores {
-			scores[w] = make(map[graph.Triangle]int, len(cand.Triangles))
+			clear(scores[w])
 		}
 		mc.ForEachWorld(h, n, workers, opts.Seed, func(worker, _ int, w *graph.Graph) {
 			mine := scores[worker]

@@ -10,9 +10,10 @@
 package dataset
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"probnucleus/internal/graph"
 	"probnucleus/internal/probgraph"
@@ -199,7 +200,7 @@ func Generate(cfg Config) *probgraph.Graph {
 		for v := range comm {
 			vs = append(vs, v)
 		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		slices.Sort(vs)
 		for i := 0; i < len(vs); i++ {
 			for j := i + 1; j < len(vs); j++ {
 				if rng.Float64() < cfg.IntraProb {
@@ -319,11 +320,11 @@ func Generate(cfg Config) *probgraph.Graph {
 		for e := range set {
 			keys = append(keys, e)
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].U != keys[j].U {
-				return keys[i].U < keys[j].U
+		slices.SortFunc(keys, func(a, b graph.Edge) int {
+			if c := cmp.Compare(a.U, b.U); c != 0 {
+				return c
 			}
-			return keys[i].V < keys[j].V
+			return cmp.Compare(a.V, b.V)
 		})
 		for _, e := range keys {
 			es = append(es, probgraph.ProbEdge{U: e.U, V: e.V, P: model(rng)})

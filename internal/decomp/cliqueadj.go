@@ -10,23 +10,33 @@
 // the (k−2)-truss here).
 package decomp
 
-import "probnucleus/internal/graph"
+import (
+	"slices"
+
+	"probnucleus/internal/graph"
+)
 
 // CliqueAdj tracks, for every triangle of a graph, which 4-clique completion
 // vertices are still alive during a peeling computation. Removing a triangle
 // kills all 4-cliques containing it; CliqueAdj performs the bookkeeping in
-// O(1) per (triangle, clique) pair.
+// O(log c) per (triangle, clique) pair.
+//
+// The per-triangle state is laid out CSR-style: completion slot i of
+// triangle t (its completion vertex TI.Comps[t][i]) lives at flat index
+// off[t]+i of one shared liveness array. Completion lists are sorted, so a
+// completion vertex is located by binary search in its triangle's list —
+// no per-triangle hash maps, no per-triangle allocations.
 //
 // It is shared by the deterministic nucleus decomposition and by the
 // probabilistic local decomposition in package core.
 type CliqueAdj struct {
 	TI *graph.TriangleIndex
-	// pos[t] maps a completion vertex z of triangle t to its index in
-	// TI.Comps[t].
-	pos []map[int32]int
-	// Alive[t][i] reports whether the 4-clique TI.Tris[t] ∪ {TI.Comps[t][i]}
-	// is still alive.
-	Alive [][]bool
+	// off[t] is the first flat index of triangle t's completion slots;
+	// off[Len()] is the total slot count.
+	off []int
+	// alive[off[t]+i] reports whether the 4-clique
+	// TI.Tris[t] ∪ {TI.Comps[t][i]} is still alive.
+	alive []bool
 	// AliveCount[t] is the number of live completions of triangle t (its
 	// current 4-clique support).
 	AliveCount []int
@@ -45,26 +55,27 @@ func NewCliqueAdjFromIndex(ti *graph.TriangleIndex) *CliqueAdj {
 	n := ti.Len()
 	ca := &CliqueAdj{
 		TI:         ti,
-		pos:        make([]map[int32]int, n),
-		Alive:      make([][]bool, n),
+		off:        make([]int, n+1),
 		AliveCount: make([]int, n),
 		Dead:       make([]bool, n),
 	}
 	for t := 0; t < n; t++ {
-		zs := ti.Comps[t]
-		ca.pos[t] = make(map[int32]int, len(zs))
-		ca.Alive[t] = make([]bool, len(zs))
-		for i, z := range zs {
-			ca.pos[t][z] = i
-			ca.Alive[t][i] = true
-		}
-		ca.AliveCount[t] = len(zs)
+		c := len(ti.Comps[t])
+		ca.off[t+1] = ca.off[t] + c
+		ca.AliveCount[t] = c
+	}
+	ca.alive = make([]bool, ca.off[n])
+	for i := range ca.alive {
+		ca.alive[i] = true
 	}
 	return ca
 }
 
 // Len returns the number of triangles.
 func (ca *CliqueAdj) Len() int { return ca.TI.Len() }
+
+// Alive reports whether completion slot i of triangle t is still alive.
+func (ca *CliqueAdj) Alive(t int32, i int) bool { return ca.alive[ca.off[t]+i] }
 
 // CliqueTriangles returns the ids of the other three triangles of the
 // 4-clique formed by triangle t and completion vertex z, along with the
@@ -90,34 +101,40 @@ func (ca *CliqueAdj) CliqueTriangles(t int32, z int32) (ids [3]int32, theirZ [3]
 }
 
 // RemoveCompletion kills the completion entry z of triangle t (the 4-clique
-// t ∪ {z}) if it is still alive, and reports whether it was alive.
-func (ca *CliqueAdj) RemoveCompletion(t int32, z int32) bool {
-	i, ok := ca.pos[t][z]
-	if !ok || !ca.Alive[t][i] {
-		return false
+// t ∪ {z}) if it is still alive. It returns z's slot index in TI.Comps[t]
+// and whether the completion was alive.
+func (ca *CliqueAdj) RemoveCompletion(t int32, z int32) (int, bool) {
+	i, ok := slices.BinarySearch(ca.TI.Comps[t], z)
+	if !ok {
+		return 0, false
 	}
-	ca.Alive[t][i] = false
+	flat := ca.off[t] + i
+	if !ca.alive[flat] {
+		return i, false
+	}
+	ca.alive[flat] = false
 	ca.AliveCount[t]--
-	return true
+	return i, true
 }
 
 // RemoveTriangle marks triangle t as dead and removes every 4-clique that
 // contains it, updating the other triangles of each clique. For every
-// affected live triangle it calls onUpdate once (after all removals that
-// processing t causes for that triangle are applied... it may be called
-// multiple times if t shares several cliques with the same triangle; callers
-// re-read AliveCount so repeated calls are harmless).
-func (ca *CliqueAdj) RemoveTriangle(t int32, onUpdate func(other int32)) {
+// affected live triangle it calls onUpdate with the triangle's id and the
+// slot index (within that triangle's completion list) of the clique that
+// died — once per killed clique, so a triangle sharing several cliques with
+// t is reported several times, each with a distinct slot.
+func (ca *CliqueAdj) RemoveTriangle(t int32, onUpdate func(other int32, slot int)) {
 	if ca.Dead[t] {
 		return
 	}
 	ca.Dead[t] = true
 	zs := ca.TI.Comps[t]
+	base := ca.off[t]
 	for i, z := range zs {
-		if !ca.Alive[t][i] {
+		if !ca.alive[base+i] {
 			continue
 		}
-		ca.Alive[t][i] = false
+		ca.alive[base+i] = false
 		ca.AliveCount[t]--
 		ids, theirZ := ca.CliqueTriangles(t, z)
 		for j := 0; j < 3; j++ {
@@ -127,8 +144,8 @@ func (ca *CliqueAdj) RemoveTriangle(t int32, onUpdate func(other int32)) {
 				// died; nothing to do.
 				continue
 			}
-			if ca.RemoveCompletion(o, theirZ[j]) && onUpdate != nil {
-				onUpdate(o)
+			if slot, ok := ca.RemoveCompletion(o, theirZ[j]); ok && onUpdate != nil {
+				onUpdate(o, slot)
 			}
 		}
 	}

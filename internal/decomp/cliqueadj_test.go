@@ -54,7 +54,7 @@ func TestRemoveTriangleCascade(t *testing.T) {
 	// triangles each lose their only completion, exactly once.
 	ca := NewCliqueAdj(completeGraph(4))
 	updates := map[int32]int{}
-	ca.RemoveTriangle(0, func(o int32) { updates[o]++ })
+	ca.RemoveTriangle(0, func(o int32, _ int) { updates[o]++ })
 	if len(updates) != 3 {
 		t.Fatalf("%d updated triangles, want 3", len(updates))
 	}
@@ -70,19 +70,19 @@ func TestRemoveTriangleCascade(t *testing.T) {
 		t.Error("removed triangle not marked dead")
 	}
 	// Removing again is a no-op.
-	ca.RemoveTriangle(0, func(o int32) { t.Error("update after re-removal") })
+	ca.RemoveTriangle(0, func(o int32, _ int) { t.Error("update after re-removal") })
 }
 
 func TestRemoveCompletionIdempotent(t *testing.T) {
 	ca := NewCliqueAdj(completeGraph(5))
 	id, _ := ca.TI.ID(graph.Triangle{A: 0, B: 1, C: 2})
-	if !ca.RemoveCompletion(id, 3) {
+	if _, ok := ca.RemoveCompletion(id, 3); !ok {
 		t.Error("first removal returned false")
 	}
-	if ca.RemoveCompletion(id, 3) {
+	if _, ok := ca.RemoveCompletion(id, 3); ok {
 		t.Error("second removal returned true")
 	}
-	if ca.RemoveCompletion(id, 99) {
+	if _, ok := ca.RemoveCompletion(id, 99); ok {
 		t.Error("removal of non-completion returned true")
 	}
 	if ca.AliveCount[id] != 1 {
@@ -117,6 +117,53 @@ func TestRemovalOrderInvariance(t *testing.T) {
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("iter %d: order-dependent alive counts at %d: %d vs %d", iter, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRemoveTriangleReportsSlots: the slot passed to onUpdate is the index
+// of the killed clique's completion vertex within the affected triangle's
+// sorted completion list — the contract the incremental scorer in package
+// core relies on to deconvolve the right Bernoulli factor.
+func TestRemoveTriangleReportsSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 9, 0.7)
+		ti := graph.NewTriangleIndex(g)
+		ca := NewCliqueAdjFromIndex(ti)
+		// Shadow liveness matrix maintained from the callbacks only.
+		shadow := make([][]bool, ti.Len())
+		for i := range shadow {
+			shadow[i] = make([]bool, len(ti.Comps[i]))
+			for j := range shadow[i] {
+				shadow[i][j] = true
+			}
+		}
+		for _, kill := range rng.Perm(ti.Len()) {
+			ca.RemoveTriangle(int32(kill), func(o int32, slot int) {
+				if !shadow[o][slot] {
+					t.Fatalf("iter %d: slot %d of triangle %d reported dead twice", iter, slot, o)
+				}
+				shadow[o][slot] = false
+			})
+			for tr := 0; tr < ti.Len(); tr++ {
+				if ca.Dead[tr] {
+					continue
+				}
+				n := 0
+				for i, a := range shadow[tr] {
+					if a != ca.Alive(int32(tr), i) {
+						t.Fatalf("iter %d: triangle %d slot %d: shadow %v vs Alive %v",
+							iter, tr, i, a, ca.Alive(int32(tr), i))
+					}
+					if a {
+						n++
+					}
+				}
+				if n != ca.AliveCount[tr] {
+					t.Fatalf("iter %d: triangle %d AliveCount %d, shadow %d", iter, tr, ca.AliveCount[tr], n)
+				}
 			}
 		}
 	}

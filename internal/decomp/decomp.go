@@ -1,7 +1,8 @@
 package decomp
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"probnucleus/internal/bucket"
 	"probnucleus/internal/graph"
@@ -145,7 +146,7 @@ func nucleusPeel(ca *CliqueAdj) []int {
 			floor = k
 		}
 		nu[t] = floor
-		ca.RemoveTriangle(t, func(o int32) {
+		ca.RemoveTriangle(t, func(o int32, _ int) {
 			c := ca.AliveCount[o]
 			if c < floor {
 				c = floor
@@ -235,23 +236,23 @@ func KNuclei(ti *graph.TriangleIndex, nu []int, k int) []Nucleus {
 		for e := range es {
 			nuc.Edges = append(nuc.Edges, e)
 		}
-		sort.Slice(nuc.Vertices, func(i, j int) bool { return nuc.Vertices[i] < nuc.Vertices[j] })
-		sort.Slice(nuc.Edges, func(i, j int) bool {
-			if nuc.Edges[i].U != nuc.Edges[j].U {
-				return nuc.Edges[i].U < nuc.Edges[j].U
+		slices.Sort(nuc.Vertices)
+		slices.SortFunc(nuc.Edges, func(a, b graph.Edge) int {
+			if c := cmp.Compare(a.U, b.U); c != 0 {
+				return c
 			}
-			return nuc.Edges[i].V < nuc.Edges[j].V
+			return cmp.Compare(a.V, b.V)
 		})
 		out = append(out, nuc)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i].Vertices) != len(out[j].Vertices) {
-			return len(out[i].Vertices) > len(out[j].Vertices)
+	slices.SortFunc(out, func(a, b Nucleus) int {
+		if c := cmp.Compare(len(b.Vertices), len(a.Vertices)); c != 0 {
+			return c
 		}
-		if len(out[i].Vertices) == 0 {
-			return false
+		if len(a.Vertices) == 0 {
+			return 0
 		}
-		return out[i].Vertices[0] < out[j].Vertices[0]
+		return cmp.Compare(a.Vertices[0], b.Vertices[0])
 	})
 	return out
 }

@@ -10,7 +10,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected edge between two vertices.
@@ -64,8 +64,8 @@ func (g *Graph) HasEdge(u, v int32) bool {
 		return false
 	}
 	ns := g.Neighbors(u)
-	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
-	return i < len(ns) && ns[i] == v
+	_, ok := slices.BinarySearch(ns, v)
+	return ok
 }
 
 // AdjIndex returns the CSR position of neighbour v inside u's adjacency
@@ -73,8 +73,7 @@ func (g *Graph) HasEdge(u, v int32) bool {
 // per-directed-edge arrays (such as edge probabilities).
 func (g *Graph) AdjIndex(u, v int32) int {
 	ns := g.Neighbors(u)
-	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
-	if i < len(ns) && ns[i] == v {
+	if i, ok := slices.BinarySearch(ns, v); ok {
 		return int(g.offs[u]) + i
 	}
 	return -1
@@ -102,7 +101,13 @@ func (g *Graph) CommonNeighbors(u, v int32) []int32 {
 // IntersectSorted returns the intersection of two sorted int32 slices as a
 // fresh slice.
 func IntersectSorted(a, b []int32) []int32 {
-	var out []int32
+	return IntersectSortedInto(nil, a, b)
+}
+
+// IntersectSortedInto appends the intersection of two sorted int32 slices to
+// dst and returns it, allocating only if dst's capacity runs out.
+func IntersectSortedInto(dst, a, b []int32) []int32 {
+	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -121,7 +126,47 @@ func IntersectSorted(a, b []int32) []int32 {
 
 // Intersect3Sorted returns the common elements of three sorted int32 slices.
 func Intersect3Sorted(a, b, c []int32) []int32 {
-	var out []int32
+	return Intersect3SortedInto(nil, a, b, c)
+}
+
+// Intersect3SortedLen returns the size of the three-way intersection without
+// materializing it — the counting pass of CSR-style layouts.
+func Intersect3SortedLen(a, b, c []int32) int {
+	n := 0
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) && k < len(c) {
+		x, y, z := a[i], b[j], c[k]
+		if x == y && y == z {
+			n++
+			i++
+			j++
+			k++
+			continue
+		}
+		m := x
+		if y > m {
+			m = y
+		}
+		if z > m {
+			m = z
+		}
+		for i < len(a) && a[i] < m {
+			i++
+		}
+		for j < len(b) && b[j] < m {
+			j++
+		}
+		for k < len(c) && c[k] < m {
+			k++
+		}
+	}
+	return n
+}
+
+// Intersect3SortedInto appends the common elements of three sorted int32
+// slices to dst and returns it, allocating only if dst's capacity runs out.
+func Intersect3SortedInto(dst, a, b, c []int32) []int32 {
+	out := dst
 	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) && k < len(c) {
 		x, y, z := a[i], b[j], c[k]
@@ -215,7 +260,7 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{offs: offs, adj: adj}
 	for v := 0; v < n; v++ {
 		ns := g.adj[g.offs[v]:g.offs[v+1]]
-		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		slices.Sort(ns)
 	}
 	return g
 }

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -424,7 +424,7 @@ func randomSortedSet(rng *rand.Rand, maxLen, universe int) []int32 {
 	for v := range m {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,7 +1,7 @@
 package graph
 
 import (
-	"sort"
+	"slices"
 
 	"probnucleus/internal/par"
 )
@@ -58,25 +58,45 @@ func (g *Graph) Triangles() []Triangle {
 // ForEachTriangle calls fn once per triangle of g.
 func (g *Graph) ForEachTriangle(fn func(Triangle)) {
 	fwd := g.forwardAdjacency(1)
+	var scratch []int32
 	for v := int32(0); int(v) < g.NumVertices(); v++ {
-		trianglesRootedAt(fwd, v, fn)
+		scratch = trianglesRootedAt(fwd, v, scratch, fn)
 	}
 }
 
 // forwardAdjacency returns, for every vertex, its out-neighbours under the
-// degeneracy-rank orientation, sorted by id. Each slot is written only by
-// the worker that owns the vertex.
+// degeneracy-rank orientation, sorted by id, laid out CSR-style in one flat
+// backing array (count pass, prefix sum, fill pass — no per-vertex
+// allocations). Each slot is written only by the worker that owns the
+// vertex.
 func (g *Graph) forwardAdjacency(workers int) [][]int32 {
 	n := g.NumVertices()
 	rank := g.degeneracyRank()
 	fwd := make([][]int32, n)
+	counts := make([]int, n+1)
 	par.For(n, workers, func(vi int) {
 		v := int32(vi)
+		c := 0
 		for _, w := range g.Neighbors(v) {
 			if rank[v] < rank[w] {
-				fwd[v] = append(fwd[v], w)
+				c++
 			}
 		}
+		counts[vi+1] = c
+	})
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	flat := make([]int32, counts[n])
+	par.For(n, workers, func(vi int) {
+		v := int32(vi)
+		dst := flat[counts[vi]:counts[vi]:counts[vi+1]]
+		for _, w := range g.Neighbors(v) {
+			if rank[v] < rank[w] {
+				dst = append(dst, w)
+			}
+		}
+		fwd[vi] = dst
 	})
 	return fwd
 }
@@ -85,12 +105,16 @@ func (g *Graph) forwardAdjacency(workers int) [][]int32 {
 // orientation, in the canonical nested order (w along fwd[v], then x along
 // the intersection). Every enumerator — serial or sharded — goes through
 // this one loop, which is what makes their triangle orders identical.
-func trianglesRootedAt(fwd [][]int32, v int32, fn func(Triangle)) {
+// scratch stages each intersection and is returned (possibly grown) for
+// reuse by the caller.
+func trianglesRootedAt(fwd [][]int32, v int32, scratch []int32, fn func(Triangle)) []int32 {
 	for _, w := range fwd[v] {
-		for _, x := range IntersectSorted(fwd[v], fwd[w]) {
+		scratch = IntersectSortedInto(scratch[:0], fwd[v], fwd[w])
+		for _, x := range scratch {
 			fn(MakeTriangle(v, w, x))
 		}
 	}
+	return scratch
 }
 
 // degeneracyRank returns a position for every vertex in a smallest-degree-
@@ -170,12 +194,14 @@ func NewTriangleIndex(g *Graph) *TriangleIndex {
 // index (triangle ids, Tris order, Comps contents) is byte-identical to the
 // serial one for every worker count.
 func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
+	workers = par.Workers(workers)
 	n := g.NumVertices()
 	fwd := g.forwardAdjacency(workers)
 	perVertex := make([][]Triangle, n)
-	par.For(n, workers, func(vi int) {
+	scratch := make([][]int32, workers)
+	par.ForWorker(n, workers, func(w, vi int) {
 		var out []Triangle
-		trianglesRootedAt(fwd, int32(vi), func(t Triangle) { out = append(out, t) })
+		scratch[w] = trianglesRootedAt(fwd, int32(vi), scratch[w], func(t Triangle) { out = append(out, t) })
 		perVertex[vi] = out
 	})
 	total := 0
@@ -192,10 +218,24 @@ func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
 			ti.Tris = append(ti.Tris, t)
 		}
 	}
+	// Completion lists are laid out CSR-style in one flat backing array:
+	// a counting pass sizes every list, a prefix sum places it, and a fill
+	// pass re-runs the intersection directly into its slot — two cheap merge
+	// scans instead of one allocation per triangle.
 	ti.Comps = make([][]int32, len(ti.Tris))
+	counts := make([]int, len(ti.Tris)+1)
 	par.For(len(ti.Tris), workers, func(i int) {
 		t := ti.Tris[i]
-		ti.Comps[i] = Intersect3Sorted(g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
+		counts[i+1] = Intersect3SortedLen(g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
+	})
+	for i := 0; i < len(ti.Tris); i++ {
+		counts[i+1] += counts[i]
+	}
+	flat := make([]int32, counts[len(ti.Tris)])
+	par.For(len(ti.Tris), workers, func(i int) {
+		t := ti.Tris[i]
+		dst := flat[counts[i]:counts[i]:counts[i+1]]
+		ti.Comps[i] = Intersect3SortedInto(dst, g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
 	})
 	return ti
 }
@@ -244,13 +284,16 @@ func (ti *TriangleIndex) FourCliquesParallel(workers int) [][4]int32 {
 	for _, s := range perTri {
 		out = append(out, s...)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b [4]int32) int {
 		for k := 0; k < 4; k++ {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
+			if a[k] != b[k] {
+				if a[k] < b[k] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 	return out
 }

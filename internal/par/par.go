@@ -12,7 +12,6 @@ package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -43,11 +42,115 @@ func For(n, workers int, fn func(i int)) {
 	ForWorker(n, workers, func(_, i int) { fn(i) })
 }
 
+// Pool is a reusable team of worker goroutines for repeated parallel-for
+// calls. For and ForWorker on a Pool have the same semantics and determinism
+// discipline as the package-level functions, but the helper goroutines are
+// spawned once and parked between calls — which matters on hot loops like
+// triangle peeling, where a decomposition issues thousands of small batches
+// and per-call goroutine spawns would dominate.
+//
+// A Pool is driven by one caller goroutine at a time (the caller itself acts
+// as worker 0). Close releases the helper goroutines.
+type Pool struct {
+	workers int
+	wake    []chan struct{} // one buffered slot per helper
+	done    chan struct{}
+
+	// Per-round state, published to helpers by the wake sends.
+	n     int
+	chunk int
+	next  atomic.Int64
+	fn    func(worker, i int)
+}
+
+// NewPool creates a pool with the given worker count (resolved via Workers).
+// A pool of 1 runs everything inline and spawns nothing.
+func NewPool(requested int) *Pool {
+	w := Workers(requested)
+	p := &Pool{workers: w}
+	if w <= 1 {
+		return p
+	}
+	p.done = make(chan struct{}, w-1)
+	p.wake = make([]chan struct{}, w-1)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go func(worker int, wake chan struct{}) {
+			for range wake {
+				p.loop(worker)
+				p.done <- struct{}{}
+			}
+		}(i+1, p.wake[i])
+	}
+	return p
+}
+
+// Workers returns the pool's resolved worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(i) for every i in [0, n) on the pool's workers.
+func (p *Pool) For(n int, fn func(i int)) {
+	p.ForWorker(n, func(_, i int) { fn(i) })
+}
+
+// ForWorker runs fn(worker, i) for every i in [0, n), with worker ids in
+// [0, Workers()); the calling goroutine is worker 0. As with the package
+// function, index-to-worker assignment is dynamic, so only per-index writes
+// and commutative reductions preserve determinism.
+func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.n = n
+	p.fn = fn
+	p.chunk = chunkSize(n, p.workers)
+	p.next.Store(0)
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	p.loop(0)
+	for range p.wake {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+func (p *Pool) loop(worker int) {
+	for {
+		lo := int(p.next.Add(int64(p.chunk))) - p.chunk
+		if lo >= p.n {
+			return
+		}
+		hi := lo + p.chunk
+		if hi > p.n {
+			hi = p.n
+		}
+		for i := lo; i < hi; i++ {
+			p.fn(worker, i)
+		}
+	}
+}
+
+// Close releases the helper goroutines. The pool must not be used after.
+func (p *Pool) Close() {
+	for _, c := range p.wake {
+		close(c)
+	}
+	p.wake = nil
+}
+
 // ForWorker is For with the worker id (in [0, workers)) passed to fn, so
 // callers can keep per-worker accumulators. The assignment of indices to
 // workers is dynamic and NOT deterministic; only reductions that are
 // insensitive to that assignment (commutative, or per-index writes) preserve
-// determinism.
+// determinism. It is a one-shot Pool; callers issuing repeated batches
+// should hold a Pool instead.
 func ForWorker(n, workers int, fn func(worker, i int)) {
 	workers = Workers(workers)
 	if n <= 0 {
@@ -62,27 +165,7 @@ func ForWorker(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
-	chunk := chunkSize(n, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(worker, i)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	p := NewPool(workers)
+	defer p.Close()
+	p.ForWorker(n, fn)
 }

@@ -1,0 +1,62 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolPerIndexWrites(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		// Many rounds over the same pool: every index written exactly once
+		// per round, by a worker id inside [0, workers).
+		for round := 0; round < 50; round++ {
+			n := 1 + (round*7)%97
+			got := make([]int32, n)
+			p.ForWorker(n, func(w, i int) {
+				if w < 0 || w >= workers {
+					t.Errorf("worker id %d out of range", w)
+				}
+				atomic.AddInt32(&got[i], 1)
+			})
+			for i, c := range got {
+				if c != 1 {
+					t.Fatalf("workers=%d round=%d: index %d visited %d times", workers, round, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForZeroAndOne(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ran := 0
+	p.For(0, func(i int) { ran++ })
+	if ran != 0 {
+		t.Errorf("For(0) ran %d times", ran)
+	}
+	p.For(1, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Errorf("For(1) ran wrong: %d", ran)
+	}
+}
+
+func TestPoolCommutativeReduction(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	sums := make([]int64, p.Workers())
+	const n = 10000
+	p.ForWorker(n, func(w, i int) { sums[w] += int64(i) })
+	total := int64(0)
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n * (n - 1) / 2); total != want {
+		t.Errorf("per-worker sum total = %d, want %d", total, want)
+	}
+}

@@ -88,12 +88,25 @@ func Choose(probs []float64, h Hyper) Method {
 // Choose, reporting which method was used. MethodDP means the exact dynamic
 // program was the fallback.
 func ApproxMaxK(probs []float64, t float64, h Hyper) (int, Method) {
+	var s Scratch
+	return ApproxMaxKScratch(probs, t, h, &s)
+}
+
+// ApproxMaxKScratch is ApproxMaxK with the DP-fallback buffer taken from s
+// instead of allocated, producing bitwise identical results.
+func ApproxMaxKScratch(probs []float64, t float64, h Hyper, s *Scratch) (int, Method) {
 	m := Choose(probs, h)
-	return MaxKWith(probs, t, m), m
+	return MaxKWithScratch(probs, t, m, s), m
 }
 
 // MaxKWith answers MaxK(probs, t) using the given method.
 func MaxKWith(probs []float64, t float64, m Method) int {
+	var s Scratch
+	return MaxKWithScratch(probs, t, m, &s)
+}
+
+// MaxKWithScratch is MaxKWith with the DP buffer taken from s.
+func MaxKWithScratch(probs []float64, t float64, m Method, s *Scratch) int {
 	if t > 1 {
 		return -1
 	}
@@ -113,7 +126,7 @@ func MaxKWith(probs []float64, t float64, m Method) int {
 	case MethodBinomial:
 		return binomialMaxK(c, mu/float64(c), t)
 	default:
-		return MaxK(probs, t)
+		return MaxKScratch(probs, t, s)
 	}
 }
 

@@ -1,0 +1,305 @@
+package pbd
+
+import "math"
+
+// ulp is the double-precision machine epsilon 2⁻⁵², the unit of the rounding
+// error bounds maintained by Dist.
+const ulp = 0x1p-52
+
+const (
+	// distMinQ is the smallest 1−p RemoveFactor will deconvolve by; below it
+	// the division by (1−p) is too ill-conditioned and the distribution is
+	// marked for a from-scratch rebuild instead.
+	distMinQ = 1e-6
+	// distErrCap bounds the accumulated per-entry error of the maintained
+	// pmf. A removal whose predicted error exceeds it marks the distribution
+	// for a rebuild rather than deconvolving.
+	distErrCap = 1e-6
+)
+
+// Dist maintains the truncated probability mass function of a
+// Poisson-binomial distribution over a mutable multiset of Bernoulli
+// factors, so that MaxK queries cost O(k) instead of the O(c·k) a
+// from-scratch DP pays. AddFactor convolves a factor into the pmf in O(k);
+// RemoveFactor divides it back out (the Eq. 7 convolution is invertible:
+// g[j] = (f[j] − p·g[j−1])/(1−p)) in O(k).
+//
+// Answers are bit-compatible with the from-scratch MaxK over the surviving
+// factors in slot order: Dist tracks a conservative bound on the rounding
+// error the incremental updates accumulate, and any query whose
+// tail-versus-threshold comparison falls inside that bound — as well as any
+// removal that would amplify the bound past distErrCap, e.g. a factor with
+// 1−p < distMinQ — triggers a from-scratch rebuild, after which the pmf
+// prefix is bitwise identical to the one MaxK computes.
+//
+// Dist is not safe for concurrent use; callers shard by owning one Dist per
+// scored entity.
+type Dist struct {
+	// factors holds one probability per slot, in insertion order; dead slots
+	// are marked in place with −1.
+	factors []float64
+	live    int
+
+	f     []float64 // truncated pmf prefix f[0..bound−1]; valid when !dirty
+	hi    int       // highest possibly-nonzero index of f
+	errUB float64   // per-entry error bound accumulated since last rebuild
+	exact bool      // f is bitwise the from-scratch slot-order DP prefix
+	dirty bool      // f must be rebuilt before the next query
+	want  int       // bound growth hint for the next rebuild
+}
+
+// NewDist returns a distribution over probs, taking ownership of the slice.
+func NewDist(probs []float64) *Dist {
+	d := &Dist{}
+	d.Init(probs)
+	return d
+}
+
+// Init resets d to the distribution over probs, all factors alive. It takes
+// ownership of probs (dead slots are marked in place by RemoveFactor). The
+// pmf buffer of a previous use is retained, so Init does not allocate.
+func (d *Dist) Init(probs []float64) {
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			panic("pbd: factor probability outside [0,1]")
+		}
+	}
+	d.factors = probs
+	d.live = len(probs)
+	d.f = d.f[:0]
+	d.hi = 0
+	d.errUB = 0
+	d.exact = false
+	d.dirty = true
+	d.want = 0
+}
+
+// InitBuffered is Init with a caller-provided pmf buffer (typically a slice
+// of a flat arena shared by many Dists). The truncation bound never exceeds
+// the live factor count, so cap(pmfBuf) ≥ len(probs) guarantees the Dist
+// never allocates.
+func (d *Dist) InitBuffered(probs, pmfBuf []float64) {
+	d.Init(probs)
+	d.f = pmfBuf[:0]
+}
+
+// Live returns the number of live factors.
+func (d *Dist) Live() int { return d.live }
+
+// Len returns the number of slots ever added, dead ones included. Slot ids
+// returned by AddFactor are in [0, Len()).
+func (d *Dist) Len() int { return len(d.factors) }
+
+// Alive reports whether slot still holds a live factor.
+func (d *Dist) Alive(slot int) bool { return d.factors[slot] >= 0 }
+
+// AppendAlive appends the live factor probabilities to buf in slot order —
+// exactly the slice a from-scratch MaxK would be handed.
+func (d *Dist) AppendAlive(buf []float64) []float64 {
+	for _, p := range d.factors {
+		if p >= 0 {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
+// AddFactor inserts a Bernoulli factor with success probability p and
+// returns its slot id. O(k) when the pmf is materialized.
+func (d *Dist) AddFactor(p float64) int {
+	if p < 0 || p > 1 {
+		panic("pbd: factor probability outside [0,1]")
+	}
+	slot := len(d.factors)
+	d.factors = append(d.factors, p)
+	d.live++
+	if d.dirty {
+		return slot
+	}
+	if len(d.f) == 0 {
+		d.dirty = true
+		return slot
+	}
+	if d.hi < len(d.f)-1 {
+		d.hi++
+	}
+	f := d.f
+	for j := d.hi; j >= 1; j-- {
+		f[j] = f[j]*(1-p) + f[j-1]*p
+	}
+	f[0] *= 1 - p
+	d.errUB += 4 * ulp
+	d.exact = false
+	return slot
+}
+
+// RemoveFactor deletes the factor in the given slot by deconvolving it out
+// of the maintained pmf. When the deconvolution would be numerically unsafe
+// (1−p < distMinQ, or the predicted error bound exceeds distErrCap) the pmf
+// is instead marked for a from-scratch rebuild at the next query, so the
+// removal itself is O(1) in that case.
+func (d *Dist) RemoveFactor(slot int) {
+	p := d.factors[slot]
+	if p < 0 {
+		panic("pbd: RemoveFactor on dead slot")
+	}
+	d.factors[slot] = -1
+	d.live--
+	if d.dirty {
+		return
+	}
+	q := 1 - p
+	if q < distMinQ {
+		d.dirty = true
+		return
+	}
+	// Per-entry error recursion of the deconvolution:
+	// e[j] ≤ (e_prev + O(ulp))/q + (p/q)·e[j−1]. For p < ½ the geometric sum
+	// is bounded by 1/(1−2p); otherwise it grows like (p/q)^hi along the
+	// prefix.
+	K := float64(d.hi)
+	var amp float64
+	if r := p / q; r >= 1 {
+		amp = (K + 1) * math.Pow(r, K) / q
+	} else {
+		amp = 1 / (q - p)
+	}
+	ne := (d.errUB + 6*ulp) * amp
+	if !(ne <= distErrCap) { // also catches NaN/Inf
+		d.dirty = true
+		return
+	}
+	f := d.f
+	f[0] /= q
+	for j := 1; j <= d.hi; j++ {
+		f[j] = (f[j] - p*f[j-1]) / q
+	}
+	// The true support now ends at live; entries beyond it are rounding
+	// residue of the deconvolution.
+	if d.hi > d.live {
+		for j := d.live + 1; j <= d.hi; j++ {
+			f[j] = 0
+		}
+		d.hi = d.live
+	}
+	d.errUB = ne
+	d.exact = false
+}
+
+// MaxK returns the largest k with Pr[ζ ≥ k] ≥ t over the live factors,
+// bit-compatible with MaxK(liveProbs, t): whenever a comparison against t is
+// closer than the maintained error bound the pmf is rebuilt from scratch (in
+// slot order, reproducing the from-scratch floats exactly) and the query is
+// re-answered from the rebuilt state.
+func (d *Dist) MaxK(t float64) int {
+	if t > 1 {
+		return -1
+	}
+	if t <= 0 {
+		return d.live
+	}
+	if d.live == 0 {
+		return 0 // Pr[ζ ≥ 0] = 1 ≥ t; no pmf needed
+	}
+	for {
+		if d.dirty {
+			d.rebuild(t)
+		}
+		ans, grow, uncertain := d.scan(t)
+		if uncertain {
+			d.dirty = true
+			continue
+		}
+		if grow {
+			d.want = 2 * len(d.f)
+			d.dirty = true
+			continue
+		}
+		return ans
+	}
+}
+
+// scan mirrors the tail scan of maxKTruncated over the maintained prefix.
+// grow reports that every scanned tail was ≥ t but the truncation bound is
+// below the live support, so the answer may be larger; uncertain reports
+// that a comparison fell inside the error margin and only a rebuild can
+// decide it bit-compatibly.
+func (d *Dist) scan(t float64) (ans int, grow, uncertain bool) {
+	limit := len(d.f)
+	if limit > d.live {
+		limit = d.live
+	}
+	// Margin covering both sides of the comparison: the incremental drift
+	// (errUB per entry) plus the from-scratch DP's own rounding (≤ 3·live·ulp
+	// per entry) plus the prefix-sum accumulation on both sides.
+	perStep, margin := 0.0, 0.0
+	if !d.exact {
+		perStep = d.errUB + float64(3*d.live+4)*ulp
+		margin = 4 * ulp
+	}
+	prefix := 0.0
+	for k := 1; k <= limit; k++ {
+		prefix += d.f[k-1]
+		tail := 1 - prefix
+		if !d.exact {
+			margin += perStep
+			if diff := tail - t; diff < margin && diff > -margin {
+				return 0, false, true
+			}
+		}
+		if tail >= t {
+			ans = k
+		} else {
+			return ans, false, false
+		}
+	}
+	return ans, limit < d.live, false
+}
+
+// rebuild recomputes the truncated pmf from scratch over the live factors in
+// slot order — the exact float sequence MaxK(liveProbs, t) produces — sizing
+// the bound like MaxK's adaptive truncation (plus any growth hint from a
+// previous undershoot).
+func (d *Dist) rebuild(t float64) {
+	mu := 0.0
+	for _, p := range d.factors {
+		if p >= 0 {
+			mu += p
+		}
+	}
+	bound := boundForMu(mu, t)
+	if bound < d.want {
+		bound = d.want
+	}
+	d.want = 0
+	if bound > d.live {
+		bound = d.live
+	}
+	if bound < 1 {
+		bound = 1
+	}
+	if cap(d.f) < bound {
+		d.f = make([]float64, bound)
+	}
+	f := d.f[:bound]
+	clear(f)
+	f[0] = 1
+	hi := 0
+	for _, p := range d.factors {
+		if p < 0 {
+			continue
+		}
+		if hi < bound-1 {
+			hi++
+		}
+		for j := hi; j >= 1; j-- {
+			f[j] = f[j]*(1-p) + f[j-1]*p
+		}
+		f[0] *= 1 - p
+	}
+	d.f = f
+	d.hi = hi
+	d.errUB = 0
+	d.exact = true
+	d.dirty = false
+}

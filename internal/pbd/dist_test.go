@@ -1,0 +1,202 @@
+package pbd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// distRefProbs packs the live factors of the reference slot state in slot
+// order, the slice the from-scratch MaxK is defined over.
+func distRefProbs(slots []float64, alive []bool) []float64 {
+	var out []float64
+	for i, p := range slots {
+		if alive[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomFactor draws probabilities across the regimes that stress the
+// incremental maintenance differently: generic values, small values (stable
+// deconvolution), values above ½ (geometric error growth), near-1 values
+// (rebuild fallback via distMinQ/distErrCap), and the exact endpoints.
+func randomFactor(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 1 - 1e-7 // triggers the 1−p < distMinQ rebuild fallback
+	case 1:
+		return 1 - 1e-4
+	case 2:
+		return 1
+	case 3:
+		return 0
+	case 4, 5:
+		return 0.5 + 0.5*rng.Float64() // p ≥ ½: worst-case deconvolution
+	default:
+		return rng.Float64()
+	}
+}
+
+// TestDistMatchesFromScratchRandom is the property test for Dist: a random
+// interleaving of AddFactor/RemoveFactor must always answer MaxK exactly as
+// the from-scratch MaxK over the surviving factors, for every threshold.
+func TestDistMatchesFromScratchRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 60; iter++ {
+		var d Dist
+		init := make([]float64, rng.Intn(30))
+		for i := range init {
+			init[i] = randomFactor(rng)
+		}
+		slots := append([]float64(nil), init...)
+		alive := make([]bool, len(init))
+		for i := range alive {
+			alive[i] = true
+		}
+		d.Init(init)
+
+		thresholds := []float64{1e-6, 0.01, 0.1, 0.3, 0.9, 1, rng.Float64()}
+		for op := 0; op < 120; op++ {
+			var liveSlots []int
+			for i := range slots {
+				if alive[i] {
+					liveSlots = append(liveSlots, i)
+				}
+			}
+			if len(liveSlots) > 0 && rng.Intn(2) == 0 {
+				s := liveSlots[rng.Intn(len(liveSlots))]
+				alive[s] = false
+				d.RemoveFactor(s)
+			} else {
+				p := randomFactor(rng)
+				slot := d.AddFactor(p)
+				if slot != len(slots) {
+					t.Fatalf("iter %d op %d: AddFactor slot = %d, want %d", iter, op, slot, len(slots))
+				}
+				slots = append(slots, p)
+				alive = append(alive, true)
+			}
+			if d.Live() != len(distRefProbs(slots, alive)) {
+				t.Fatalf("iter %d op %d: Live = %d, want %d", iter, op, d.Live(), len(distRefProbs(slots, alive)))
+			}
+			// Query after every mutation so drift cannot hide behind a later
+			// rebuild.
+			thr := thresholds[op%len(thresholds)]
+			ref := distRefProbs(slots, alive)
+			if got, want := d.MaxK(thr), MaxK(ref, thr); got != want {
+				t.Fatalf("iter %d op %d: MaxK(t=%v) = %d, from-scratch %d (live=%d)",
+					iter, op, thr, got, want, len(ref))
+			}
+		}
+	}
+}
+
+// TestDistNearOneFallback removes near-1 factors — the regime where
+// deconvolution by 1−p is hopeless — and checks the rebuild fallback keeps
+// answers exact.
+func TestDistNearOneFallback(t *testing.T) {
+	probs := []float64{0.3, 1 - 1e-9, 0.7, 1 - 1e-12, 0.4, 1, 0.25}
+	d := NewDist(append([]float64(nil), probs...))
+	alive := make([]bool, len(probs))
+	for i := range alive {
+		alive[i] = true
+	}
+	if got, want := d.MaxK(0.2), MaxK(distRefProbs(probs, alive), 0.2); got != want {
+		t.Fatalf("initial MaxK = %d, want %d", got, want)
+	}
+	for _, slot := range []int{1, 3, 5, 0} {
+		d.RemoveFactor(slot)
+		alive[slot] = false
+		for _, thr := range []float64{0.05, 0.2, 0.5, 0.95} {
+			if got, want := d.MaxK(thr), MaxK(distRefProbs(probs, alive), thr); got != want {
+				t.Fatalf("after removing slot %d: MaxK(t=%v) = %d, want %d", slot, thr, got, want)
+			}
+		}
+	}
+}
+
+// TestDistEdgeCases pins the degenerate contracts shared with MaxK.
+func TestDistEdgeCases(t *testing.T) {
+	d := NewDist(nil)
+	if got := d.MaxK(0.5); got != 0 {
+		t.Errorf("empty MaxK(0.5) = %d, want 0", got)
+	}
+	if got := d.MaxK(1.5); got != -1 {
+		t.Errorf("MaxK(1.5) = %d, want -1", got)
+	}
+	d.AddFactor(0.9)
+	d.AddFactor(0.8)
+	if got := d.MaxK(0); got != 2 {
+		t.Errorf("MaxK(0) = %d, want live count 2", got)
+	}
+	d.RemoveFactor(0)
+	d.RemoveFactor(1)
+	if got := d.MaxK(0.5); got != 0 {
+		t.Errorf("emptied MaxK(0.5) = %d, want 0", got)
+	}
+	if d.Live() != 0 || d.Len() != 2 {
+		t.Errorf("Live/Len = %d/%d, want 0/2", d.Live(), d.Len())
+	}
+}
+
+// TestDistManyRemovalsDeepSupport drives a large distribution through a long
+// removal sequence with deep tails (tiny thresholds), the hot pattern of the
+// peeling loop, checking exactness throughout.
+func TestDistManyRemovalsDeepSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	n := 120
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.05 + 0.4*rng.Float64()
+	}
+	d := NewDist(append([]float64(nil), probs...))
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := rng.Perm(n)
+	for _, slot := range order {
+		thr := []float64{1e-4, 0.05, 0.3}[slot%3]
+		if got, want := d.MaxK(thr), MaxK(distRefProbs(probs, alive), thr); got != want {
+			t.Fatalf("before removing slot %d: MaxK(t=%v) = %d, want %d", slot, thr, got, want)
+		}
+		d.RemoveFactor(slot)
+		alive[slot] = false
+	}
+}
+
+func BenchmarkDistRemoveQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(97))
+	n := 200
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = 0.05 + 0.35*rng.Float64()
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := NewDist(append([]float64(nil), base...))
+			d.MaxK(0.1)
+			b.StartTimer()
+			for s := 0; s < n; s++ {
+				d.RemoveFactor(s)
+				d.MaxK(0.1)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var sc Scratch
+		probs := make([]float64, n)
+		for i := 0; i < b.N; i++ {
+			copy(probs, base)
+			live := probs[:n]
+			for s := 0; s < n; s++ {
+				live = live[1:]
+				MaxKScratch(live, 0.1, &sc)
+			}
+		}
+	})
+}

@@ -16,12 +16,36 @@ package pbd
 
 import "math"
 
+// Scratch holds the reusable DP buffer for allocation-free MaxK evaluation.
+// Callers on a hot path keep one Scratch per worker and pass it to
+// MaxKScratch / ApproxMaxKScratch; the zero value is ready to use.
+type Scratch struct {
+	f []float64
+}
+
+// pmf returns a zeroed buffer of length n, reusing the scratch allocation.
+func (s *Scratch) pmf(n int) []float64 {
+	if cap(s.f) < n {
+		s.f = make([]float64, n)
+	}
+	f := s.f[:n]
+	clear(f)
+	return f
+}
+
 // MaxK returns the largest k ≥ 0 such that Pr[ζ ≥ k] ≥ t, where ζ is the
 // Poisson-binomial sum of the given Bernoulli probabilities, computed
 // exactly by dynamic programming. Since Pr[ζ ≥ 0] = 1, the result is ≥ 0
 // whenever t ≤ 1; for t > 1 it returns -1. The result never exceeds
 // len(probs).
 func MaxK(probs []float64, t float64) int {
+	var s Scratch
+	return MaxKScratch(probs, t, &s)
+}
+
+// MaxKScratch is MaxK with the DP buffer taken from s instead of allocated,
+// producing bitwise identical results.
+func MaxKScratch(probs []float64, t float64, s *Scratch) int {
 	if t > 1 {
 		return -1
 	}
@@ -41,7 +65,7 @@ func MaxK(probs []float64, t float64) int {
 		if k > c {
 			k = c
 		}
-		ans, exceeded := maxKTruncated(probs, t, k)
+		ans, exceeded := maxKTruncated(probs, t, k, s.pmf(k))
 		if !exceeded || k == c {
 			return ans
 		}
@@ -57,6 +81,12 @@ func initialBound(probs []float64, t float64) int {
 	for _, p := range probs {
 		mu += p
 	}
+	return boundForMu(mu, t)
+}
+
+// boundForMu is initialBound for a precomputed mean; shared with the
+// rebuild path of Dist so incremental and from-scratch truncation agree.
+func boundForMu(mu, t float64) int {
 	slack := math.Sqrt(2*mu*math.Log(1/t)) + math.Log(1/t)
 	b := int(mu+slack) + 4
 	if b < 8 {
@@ -69,10 +99,10 @@ func initialBound(probs []float64, t float64) int {
 // f[0..bound-1] and returns the largest k ≤ bound with tail(k) ≥ t.
 // exceeded reports that tail(bound) ≥ t too, i.e. the true answer may be
 // larger than bound and the caller must retry with a bigger bound.
-func maxKTruncated(probs []float64, t float64, bound int) (ans int, exceeded bool) {
-	f := make([]float64, bound) // f[j] = Pr[ζ = j] over processed prefix
-	f[0] = 1
-	hi := 0 // highest index that can be non-zero
+// f is the caller-provided zeroed DP buffer of length bound.
+func maxKTruncated(probs []float64, t float64, bound int, f []float64) (ans int, exceeded bool) {
+	f[0] = 1 // f[j] = Pr[ζ = j] over processed prefix
+	hi := 0  // highest index that can be non-zero
 	for _, p := range probs {
 		if hi < bound-1 {
 			hi++

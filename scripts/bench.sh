@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Runs the local-decomposition benchmarks with -benchmem and writes
+# BENCH_local.json, comparing the run against the recorded pre-incremental
+# baseline (commit ae2043f, before the Poisson-binomial support maintenance
+# became incremental and the peeling hot path allocation-free).
+#
+# Usage:
+#   scripts/bench.sh                     # full Fig4 corpus
+#   BENCHTIME=1x BENCH_PATTERN='BenchmarkFig4LocalDP/(krogan|dblp)' scripts/bench.sh
+#
+# Environment:
+#   BENCH_PATTERN  go test -bench regexp   (default BenchmarkFig4LocalDP)
+#   BENCHTIME      go test -benchtime      (default 3x)
+#   BENCH_OUT      output JSON path        (default BENCH_local.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-BenchmarkFig4LocalDP}"
+benchtime="${BENCHTIME:-3x}"
+out="${BENCH_OUT:-BENCH_local.json}"
+
+txt="$(mktemp)"
+base="$(mktemp)"
+trap 'rm -f "$txt" "$base"' EXIT
+
+# Pre-PR baseline: BenchmarkFig4LocalDP at commit ae2043f on the reference
+# runner (Intel Xeon @ 2.10GHz), -benchmem. ns/op from multi-iteration runs;
+# allocs/op and B/op are deterministic.
+cat > "$base" <<'EOF'
+BenchmarkFig4LocalDP/krogan/theta=0.1 18806230 6312152 72626
+BenchmarkFig4LocalDP/krogan/theta=0.4 20549524 5133920 66983
+BenchmarkFig4LocalDP/dblp/theta=0.1 238127093 64433220 580544
+BenchmarkFig4LocalDP/dblp/theta=0.4 262626822 61825972 568339
+BenchmarkFig4LocalDP/flickr/theta=0.1 1353474822 304916136 1698271
+BenchmarkFig4LocalDP/flickr/theta=0.4 1266608412 338947944 2071089
+BenchmarkFig4LocalDP/pokec/theta=0.1 81522699 16466889 268667
+BenchmarkFig4LocalDP/pokec/theta=0.4 68554194 13806604 201468
+BenchmarkFig4LocalDP/biomine/theta=0.1 924832107 232489888 1521332
+BenchmarkFig4LocalDP/biomine/theta=0.4 1073464984 220290472 1648891
+BenchmarkFig4LocalDP/ljournal/theta=0.1 586488262 113521992 1234722
+BenchmarkFig4LocalDP/ljournal/theta=0.4 412014880 68927416 877389
+EOF
+
+echo "==> go test -bench $pattern -benchmem -benchtime $benchtime"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$txt"
+
+awk -v baselinefile="$base" -v benchtime="$benchtime" '
+BEGIN {
+    while ((getline line < baselinefile) > 0) {
+        split(line, f, " ")
+        bns[f[1]] = f[2]; bb[f[1]] = f[3]; ba[f[1]] = f[4]
+    }
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "" || allocs == "") next
+    order[++n] = name
+    cns[name] = ns; cb[name] = bytes; ca[name] = allocs
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkFig4LocalDP\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"baseline_commit\": \"ae2043f\",\n"
+    printf "  \"baseline_note\": \"pre-incremental scorer: from-scratch DP per support query, map-based CliqueAdj\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\n"
+        printf "      \"name\": \"%s\",\n", name
+        printf "      \"ns_per_op\": %s,\n", cns[name]
+        printf "      \"bytes_per_op\": %s,\n", cb[name]
+        printf "      \"allocs_per_op\": %s", ca[name]
+        if (name in bns) {
+            printf ",\n"
+            printf "      \"baseline_ns_per_op\": %s,\n", bns[name]
+            printf "      \"baseline_bytes_per_op\": %s,\n", bb[name]
+            printf "      \"baseline_allocs_per_op\": %s,\n", ba[name]
+            printf "      \"speedup\": %.2f,\n", bns[name] / cns[name]
+            printf "      \"allocs_reduction\": %.1f\n", ba[name] / ca[name]
+        } else {
+            printf "\n"
+        }
+        printf "    }%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}
+' "$txt" > "$out"
+
+echo "wrote $out"

@@ -7,8 +7,15 @@
 # tests in internal/core, internal/graph, and internal/mc run the worker
 # pools at 1/2/8 workers, so `go test -race` drives every concurrent path.
 #
+# It finishes with scripts/bench.sh in short mode (1 benchmark iteration) so
+# every CI run refreshes BENCH_local.json's allocs/op numbers — which are
+# deterministic and therefore catch allocation regressions even at
+# -benchtime 1x. Set CI_BENCH=0 to skip.
+#
 # Usage: scripts/ci.sh [package-pattern]   (default ./...)
 set -eu
+
+cd "$(dirname "$0")/.."
 
 pkgs="${1:-./...}"
 
@@ -23,5 +30,10 @@ go test "$pkgs"
 
 echo "==> go test -race $pkgs"
 go test -race "$pkgs"
+
+if [ "${CI_BENCH:-1}" = 1 ]; then
+	echo "==> scripts/bench.sh (short mode)"
+	BENCHTIME=1x "$(dirname "$0")/bench.sh"
+fi
 
 echo "CI OK"
