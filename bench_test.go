@@ -123,6 +123,49 @@ func BenchmarkFig5WeaklyGlobal(b *testing.B) {
 	}
 }
 
+// --- Global / weakly-global candidate pipeline (allocation-tracked) ---
+//
+// BenchmarkGlobal and BenchmarkWeak measure the Monte-Carlo validation
+// pipeline in isolation: the local decomposition is precomputed outside the
+// timer and injected through MCOptions.Local, so allocs/op counts only the
+// candidate growth, possible-world sampling, and per-world checks that the
+// arena refactor targets. scripts/bench.sh compares them against the
+// pre-refactor baseline in BENCH_local.json.
+
+func benchGlobalWeak(b *testing.B, run func(g *pn.Graph, opts pn.MCOptions) error) {
+	for _, name := range []string{"krogan", "dblp"} {
+		g := benchGraph(name, 0.04)
+		local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := pn.MCOptions{Samples: 100, Seed: 1, Local: local, Workers: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGlobal(b *testing.B) {
+	benchGlobalWeak(b, func(g *pn.Graph, opts pn.MCOptions) error {
+		_, err := pn.GlobalNuclei(g, 1, 0.001, opts)
+		return err
+	})
+}
+
+func BenchmarkWeak(b *testing.B) {
+	benchGlobalWeak(b, func(g *pn.Graph, opts pn.MCOptions) error {
+		_, err := pn.WeaklyGlobalNuclei(g, 1, 0.001, opts)
+		return err
+	})
+}
+
 // --- Table 2: AP accuracy against DP ---
 
 func BenchmarkTable2APAccuracy(b *testing.B) {

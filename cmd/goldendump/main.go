@@ -1,0 +1,61 @@
+// Command goldendump prints a canonical text rendering of the global and
+// weakly-global decompositions on the fixture corpus. It exists to snapshot
+// the pre-refactor outputs so the arena refactor can be proven
+// behavior-preserving; the snapshot lives in internal/core/golden_test.go.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/probgraph"
+)
+
+func render(ns []core.ProbNucleus) string {
+	s := fmt.Sprintf("%d nuclei\n", len(ns))
+	for _, n := range ns {
+		s += fmt.Sprintf("k=%d theta=%g minprob=%.17g verts=%v edges=%v tris=%v\n",
+			n.K, n.Theta, n.MinProb, n.Vertices, n.Edges, n.Triangles)
+	}
+	return s
+}
+
+func main() {
+	graphs := map[string]*probgraph.Graph{
+		"fig1":   fixtures.Fig1(),
+		"k5":     fixtures.Fig3cK5(),
+		"krogan": dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04))),
+	}
+	type cfg struct {
+		name    string
+		k       int
+		theta   float64
+		samples int
+		seed    int64
+	}
+	cases := []cfg{
+		{"fig1", 1, 0.35, 500, 5},
+		{"fig1", 0, 0.30, 300, 2},
+		{"k5", 2, 0.01, 400, 7},
+		{"krogan", 1, 0.001, 100, 1},
+	}
+	for _, c := range cases {
+		pg := graphs[c.name]
+		opts := core.MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1}
+		g, err := core.GlobalNuclei(pg, c.k, c.theta, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== global/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(g))
+		w, err := core.WeaklyGlobalNuclei(pg, c.k, c.theta, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== weak/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(w))
+	}
+}

@@ -18,14 +18,31 @@ type Queue struct {
 // New creates a queue for n items with keys in [0, maxKey]. All items start
 // absent; call Push to insert.
 func New(n, maxKey int) *Queue {
-	q := &Queue{
-		buckets: make([][]int32, maxKey+2),
-		key:     make([]int32, n),
+	q := &Queue{}
+	q.Reset(n, maxKey)
+	return q
+}
+
+// Reset reinitialises the queue for n items with keys in [0, maxKey],
+// reusing the bucket and key storage from previous rounds. It lets hot loops
+// (per-sampled-world peeling) run many decompositions on one queue without
+// reallocating; the zero value of Queue is ready for Reset.
+func (q *Queue) Reset(n, maxKey int) {
+	if cap(q.key) < n {
+		q.key = make([]int32, n)
 	}
+	q.key = q.key[:n]
 	for i := range q.key {
 		q.key[i] = -1
 	}
-	return q
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	for len(q.buckets) < maxKey+2 {
+		q.buckets = append(q.buckets, nil)
+	}
+	q.cur = 0
+	q.remain = 0
 }
 
 // Push inserts item id with the given key. Pushing an already-present item

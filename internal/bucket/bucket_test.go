@@ -150,3 +150,36 @@ func TestAgainstHeapPeelingPattern(t *testing.T) {
 		}
 	}
 }
+
+// TestResetReuses: a Reset queue must behave exactly like a fresh one, and
+// repeated Reset/peel rounds must not allocate once storage has grown.
+func TestResetReuses(t *testing.T) {
+	var q Queue
+	for round := 0; round < 3; round++ {
+		q.Reset(5, 4)
+		for i := int32(0); i < 5; i++ {
+			q.Push(i, int(i%5))
+		}
+		prev := -1
+		for q.Len() > 0 {
+			_, k, ok := q.Pop()
+			if !ok || k < prev {
+				t.Fatalf("round %d: non-monotone or empty pop", round)
+			}
+			prev = k
+		}
+	}
+	q.Reset(64, 8) // warm
+	allocs := testing.AllocsPerRun(50, func() {
+		q.Reset(64, 8)
+		for i := int32(0); i < 64; i++ {
+			q.Push(i, int(i%9))
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset round allocates %v, want 0", allocs)
+	}
+}

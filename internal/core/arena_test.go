@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/graph"
+)
+
+// arenaFixture builds a candidate space plus warmed scratch over the krogan
+// dataset, the setup shared by the steady-state allocation tests below.
+func arenaFixture(t testing.TB) (*candidateSpace, []graph.Edge) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.08)))
+	local, err := LocalDecompose(pg, 0.1, Options{Mode: ModeDP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCandidateSpace(local, 1)
+	if len(cs.triangles) < 4 {
+		t.Fatalf("fixture too small: %d candidate triangles", len(cs.triangles))
+	}
+	var edges []graph.Edge
+	for _, seed := range cs.triangles { // warm every scratch buffer
+		edges = appendTriangleEdges(edges[:0], cs.ti, cs.closure(seed, 1))
+	}
+	return cs, edges
+}
+
+// TestClosureGrowthAllocationFree: growing candidates (Algorithm 2 lines
+// 5-7) and assembling their sorted edge sets must not allocate once the
+// per-space scratch has reached steady state — the arena discipline the
+// PR-2 peeling loop established, extended to the global pipeline.
+func TestClosureGrowthAllocationFree(t *testing.T) {
+	cs, edges := arenaFixture(t)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seed := cs.triangles[i%len(cs.triangles)]
+		edges = appendTriangleEdges(edges[:0], cs.ti, cs.closure(seed, 1))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("closure growth + edge-set assembly allocates %v per seed, want 0", allocs)
+	}
+}
+
+// TestTriSetDedupLookupAllocationFree: re-checking an already-stored
+// triangle set (the common case — most seeds grow an already-seen closure)
+// must not allocate.
+func TestTriSetDedupLookupAllocationFree(t *testing.T) {
+	cs, _ := arenaFixture(t)
+	var seen triSetDedup
+	for _, seed := range cs.triangles {
+		seen.insert(cs.closure(seed, 1))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		seed := cs.triangles[i%len(cs.triangles)]
+		if seen.insert(cs.closure(seed, 1)) {
+			t.Fatal("set unexpectedly new")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("dedup lookup allocates %v per seed, want 0", allocs)
+	}
+}
+
+// TestTriSetDedupSemantics: the hash-with-equality-fallback dedup must agree
+// with literal set comparison — same first-insert wins, duplicates rejected,
+// near-miss sets (prefix, superset, single-element change) kept.
+func TestTriSetDedupSemantics(t *testing.T) {
+	var d triSetDedup
+	sets := [][]int32{
+		{1, 2, 3},
+		{1, 2},
+		{1, 2, 3, 4},
+		{1, 2, 4},
+		{},
+	}
+	for i, s := range sets {
+		if !d.insert(s) {
+			t.Fatalf("set %d %v rejected on first insert", i, s)
+		}
+	}
+	for i, s := range sets {
+		dup := append([]int32(nil), s...)
+		if d.insert(dup) {
+			t.Fatalf("set %d %v accepted twice", i, dup)
+		}
+	}
+}
+
+// BenchmarkClosureEdgeSet measures the per-seed candidate growth of
+// GlobalNuclei in isolation: clique closure over the stamped scratch plus
+// sorted-edge-set assembly. ReportAllocs is the regression gate — the
+// steady state is allocation-free (see TestClosureGrowthAllocationFree).
+func BenchmarkClosureEdgeSet(b *testing.B) {
+	cs, edges := arenaFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := cs.triangles[i%len(cs.triangles)]
+		edges = appendTriangleEdges(edges[:0], cs.ti, cs.closure(seed, 1))
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"probnucleus/internal/graph"
+	"probnucleus/internal/par"
+	"probnucleus/internal/probgraph"
+)
+
+// Decomposer bundles the three decomposition entry points around one
+// persistent worker pool: the local pruning phase, Monte-Carlo possible-
+// world sampling, and global/weak candidate validation all run on the same
+// parked goroutine team. A server answering many small decomposition
+// requests holds one Decomposer instead of paying a pool spawn-and-teardown
+// per call; results are identical to the package-level functions for every
+// worker count.
+//
+// A Decomposer is driven by one goroutine at a time (the pool's helpers are
+// single-caller). Close releases the pool; the Decomposer must not be used
+// afterwards.
+type Decomposer struct {
+	pool *par.Pool
+}
+
+// NewDecomposer creates a decomposer over a persistent pool with the given
+// worker count (0 means all available parallelism, 1 fully serial).
+func NewDecomposer(workers int) *Decomposer {
+	return &Decomposer{pool: par.NewPool(workers)}
+}
+
+// Workers returns the resolved worker count of the underlying pool.
+func (d *Decomposer) Workers() int { return d.pool.Workers() }
+
+// Close releases the pool's helper goroutines.
+func (d *Decomposer) Close() { d.pool.Close() }
+
+// LocalDecompose is core.LocalDecompose on the decomposer's pool.
+func (d *Decomposer) LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
+	opts.Pool = d.pool
+	return LocalDecompose(pg, theta, opts)
+}
+
+// InitialKappa is core.InitialKappa on the decomposer's pool.
+func (d *Decomposer) InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.TriangleIndex, []int, error) {
+	opts.Pool = d.pool
+	return InitialKappa(pg, theta, opts)
+}
+
+// GlobalNuclei is core.GlobalNuclei on the decomposer's pool.
+func (d *Decomposer) GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	opts.Pool = d.pool
+	return GlobalNuclei(pg, k, theta, opts)
+}
+
+// WeaklyGlobalNuclei is core.WeaklyGlobalNuclei on the decomposer's pool.
+func (d *Decomposer) WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	opts.Pool = d.pool
+	return WeaklyGlobalNuclei(pg, k, theta, opts)
+}

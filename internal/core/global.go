@@ -29,9 +29,21 @@ type MCOptions struct {
 	// fully serial. Worlds are drawn from chunk-derived PRNGs (see package
 	// mc), so results depend only on Seed, never on the worker count.
 	Workers int
+	// Pool, when non-nil, is a caller-owned worker pool to run on instead of
+	// spawning one per call; it overrides Workers and stays open afterwards.
+	// The same pool serves the internal LocalDecompose pruning phase and the
+	// per-candidate Monte-Carlo validation (see Decomposer).
+	Pool *par.Pool
 }
 
-func (o MCOptions) workerCount() int { return par.Workers(o.Workers) }
+// pool resolves the worker pool to run on: the caller-owned one when set, or
+// a fresh pool (owned reports true) the caller of pool() must close.
+func (o MCOptions) pool() (p *par.Pool, owned bool) {
+	if o.Pool != nil {
+		return o.Pool, false
+	}
+	return par.NewPool(o.Workers), true
+}
 
 func (o MCOptions) sampleCount() int {
 	if o.Samples > 0 {
@@ -65,33 +77,44 @@ type ProbNucleus struct {
 // Candidates are grown inside the union C of ℓ-(k,θ)-nuclei as 4-clique
 // closures seeded at each triangle of C, then validated by sampling n
 // possible worlds and requiring Pr̂(X_{H,△,g} ≥ k) ≥ θ for every triangle.
+//
+// The per-seed pipeline is allocation-lean: candidate growth runs on stamp
+// arrays over a CSR clique layout, candidate subgraphs are assembled from a
+// sorted scratch edge slice, deduplication hashes sorted triangle-id sets,
+// and each world is checked against a reusable restriction of the parent
+// triangle index instead of a per-world rebuild.
 func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k = %d", k)
+	}
+	pool, owned := opts.pool()
+	if owned {
+		defer pool.Close()
+	}
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Workers: opts.Workers})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool})
 		if err != nil {
 			return nil, err
 		}
-	}
-	if k < 0 {
-		return nil, fmt.Errorf("core: negative k = %d", k)
 	}
 	n := opts.sampleCount()
 
 	// C: union of ℓ-(k,θ)-nuclei, with its level-k clique structure.
 	cand := newCandidateSpace(local, k)
+	est := newGlobalEstimator(pool)
 	var out []ProbNucleus
-	seen := make(map[string]bool)
+	var seen triSetDedup
+	var edges []graph.Edge
 	for _, seed := range cand.triangles {
 		closure := cand.closure(seed, k)
-		sig := triangleSetSignature(closure)
-		if seen[sig] {
+		if !seen.insert(closure) {
 			continue
 		}
-		seen[sig] = true
-		h := cand.subgraph(pg, closure)
-		minProb, ok := estimateGlobal(h, k, theta, n, opts.Seed, opts.workerCount())
+		edges = appendTriangleEdges(edges[:0], cand.ti, closure)
+		h := pg.SubgraphOfEdges(edges)
+		minProb, ok := est.estimate(h, cand.ti, k, theta, n, opts.Seed)
 		if !ok {
 			continue
 		}
@@ -103,19 +126,38 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 
 // candidateSpace is the union C of ℓ-(k,θ)-nuclei viewed as a set of
 // triangles plus the 4-cliques among them whose triangles all reach level k.
+// Cliques are enumerated once and assigned dense ids; per-triangle clique
+// membership is laid out CSR-style, and closure growth runs on generation-
+// stamped scratch arrays — so growing a candidate allocates nothing beyond
+// the first seed.
 type candidateSpace struct {
-	ti        *graph.TriangleIndex
-	nu        []int
-	triangles []int32 // triangle ids in C
-	// cliques[t] lists, per triangle in C, the level-k cliques it belongs
-	// to, as the 4 triangle ids of each clique.
-	cliques map[int32][][4]int32
+	ti *graph.TriangleIndex
+	nu []int
+	// triangles lists the triangle ids of C (level ≥ k with at least one
+	// level-k clique), in increasing order.
+	triangles []int32
+	// cliques holds every level-k 4-clique once, as the ids of its four
+	// triangles; cliqueIDs[cliqueOff[t]:cliqueOff[t+1]] are the cliques
+	// containing triangle t, in enumeration order.
+	cliques   [][4]int32
+	cliqueOff []int32
+	cliqueIDs []int32
+	// closure scratch: triStamp/clStamp mark membership in the current
+	// generation, inCliques counts a member triangle's cliques inside the
+	// candidate, members/queue back the growth worklist.
+	gen       int32
+	triStamp  []int32
+	clStamp   []int32
+	inCliques []int32
+	members   []int32
+	queue     []int32
 }
 
 func newCandidateSpace(local *LocalResult, k int) *candidateSpace {
 	ti, nu := local.TI, local.Nucleusness
-	cs := &candidateSpace{ti: ti, nu: nu, cliques: make(map[int32][][4]int32)}
-	for t := int32(0); int(t) < ti.Len(); t++ {
+	n := ti.Len()
+	cs := &candidateSpace{ti: ti, nu: nu}
+	for t := int32(0); int(t) < n; t++ {
 		if nu[t] < k {
 			continue
 		}
@@ -128,17 +170,34 @@ func newCandidateSpace(local *LocalResult, k int) *candidateSpace {
 			if !ok {
 				continue
 			}
-			clique := [4]int32{t, ids[0], ids[1], ids[2]}
-			for _, id := range clique {
-				cs.cliques[id] = append(cs.cliques[id], clique)
-			}
+			cs.cliques = append(cs.cliques, [4]int32{t, ids[0], ids[1], ids[2]})
 		}
 	}
-	for t := int32(0); int(t) < ti.Len(); t++ {
-		if nu[t] >= k && len(cs.cliques[t]) > 0 {
+	cs.cliqueOff = make([]int32, n+1)
+	for _, cl := range cs.cliques {
+		for _, id := range cl {
+			cs.cliqueOff[id+1]++
+		}
+	}
+	for t := 0; t < n; t++ {
+		cs.cliqueOff[t+1] += cs.cliqueOff[t]
+	}
+	cs.cliqueIDs = make([]int32, cs.cliqueOff[n])
+	fill := make([]int32, n)
+	for ci, cl := range cs.cliques {
+		for _, id := range cl {
+			cs.cliqueIDs[cs.cliqueOff[id]+fill[id]] = int32(ci)
+			fill[id]++
+		}
+	}
+	for t := int32(0); int(t) < n; t++ {
+		if nu[t] >= k && cs.cliqueOff[t+1] > cs.cliqueOff[t] {
 			cs.triangles = append(cs.triangles, t)
 		}
 	}
+	cs.triStamp = make([]int32, n)
+	cs.clStamp = make([]int32, len(cs.cliques))
+	cs.inCliques = make([]int32, n)
 	return cs
 }
 
@@ -158,96 +217,176 @@ func cliqueIDsAtLevel(ti *graph.TriangleIndex, nu []int, tri graph.Triangle, z i
 	return ids, true
 }
 
+func (cs *candidateSpace) cliquesOf(t int32) []int32 {
+	return cs.cliqueIDs[cs.cliqueOff[t]:cs.cliqueOff[t+1]]
+}
+
+// addClique admits clique ci into the current candidate generation, stamping
+// its four triangles as members and bumping their inside-clique counts. New
+// members are appended to both worklists, which are returned grown.
+func (cs *candidateSpace) addClique(ci, gen int32, members, queue []int32) ([]int32, []int32) {
+	if cs.clStamp[ci] == gen {
+		return members, queue
+	}
+	cs.clStamp[ci] = gen
+	for _, id := range cs.cliques[ci] {
+		if cs.triStamp[id] != gen {
+			cs.triStamp[id] = gen
+			cs.inCliques[id] = 0
+			members = append(members, id)
+			queue = append(queue, id)
+		}
+		cs.inCliques[id]++
+	}
+	return members, queue
+}
+
 // closure grows the candidate of Algorithm 2 lines 5-7: start with the
 // cliques containing the seed, then repeatedly add cliques of C containing
 // any member triangle that has fewer than k cliques inside the candidate.
+// The returned sorted id slice aliases the scratch and is valid until the
+// next closure call.
 func (cs *candidateSpace) closure(seed int32, k int) []int32 {
-	member := map[int32]bool{}
-	cliqueIn := map[[4]int32]bool{}
-	inCliques := map[int32]int{} // cliques inside the candidate per triangle
-	var queue []int32
-
-	addClique := func(cl [4]int32) {
-		if cliqueIn[cl] {
-			return
-		}
-		cliqueIn[cl] = true
-		for _, id := range cl {
-			inCliques[id]++
-			if !member[id] {
-				member[id] = true
-				queue = append(queue, id)
-			}
-		}
-	}
-	for _, cl := range cs.cliques[seed] {
-		addClique(cl)
+	cs.gen++
+	gen := cs.gen
+	members, queue := cs.members[:0], cs.queue[:0]
+	for _, ci := range cs.cliquesOf(seed) {
+		members, queue = cs.addClique(ci, gen, members, queue)
 	}
 	for len(queue) > 0 {
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if inCliques[t] >= k && k > 0 {
+		if k > 0 && int(cs.inCliques[t]) >= k {
 			continue
 		}
 		// Triangle t needs more support (or k = 0: take all its cliques so
 		// the candidate stays a union of cliques).
-		for _, cl := range cs.cliques[t] {
-			addClique(cl)
-			if k > 0 && inCliques[t] >= k {
+		for _, ci := range cs.cliquesOf(t) {
+			members, queue = cs.addClique(ci, gen, members, queue)
+			if k > 0 && int(cs.inCliques[t]) >= k {
 				break
 			}
 		}
 	}
-	out := make([]int32, 0, len(member))
-	for t := range member {
-		out = append(out, t)
-	}
-	slices.Sort(out)
-	return out
+	slices.Sort(members)
+	cs.members, cs.queue = members, queue
+	return members
 }
 
-// subgraph extracts the probabilistic subgraph spanned by the triangles.
-func (cs *candidateSpace) subgraph(pg *probgraph.Graph, tris []int32) *probgraph.Graph {
-	es := make(map[graph.Edge]bool)
+// appendTriangleEdges appends the edges spanned by the given triangles to
+// dst, sorted canonically and deduplicated. Triangles are canonical (A<B<C),
+// so each emitted edge already has U < V; the sort and in-place compaction
+// allocate nothing once dst has grown to steady state.
+func appendTriangleEdges(dst []graph.Edge, ti *graph.TriangleIndex, tris []int32) []graph.Edge {
 	for _, t := range tris {
-		tri := cs.ti.Tris[t]
-		es[graph.Edge{U: tri.A, V: tri.B}] = true
-		es[graph.Edge{U: tri.A, V: tri.C}] = true
-		es[graph.Edge{U: tri.B, V: tri.C}] = true
+		tri := ti.Tris[t]
+		dst = append(dst,
+			graph.Edge{U: tri.A, V: tri.B},
+			graph.Edge{U: tri.A, V: tri.C},
+			graph.Edge{U: tri.B, V: tri.C})
 	}
-	return pg.EdgeSubgraph(func(u, v int32) bool {
-		return es[graph.Edge{U: u, V: v}.Canon()]
+	slices.SortFunc(dst, func(a, b graph.Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.V, b.V)
 	})
+	return slices.Compact(dst)
 }
 
-// estimateGlobal samples n worlds of h and estimates Pr(X_{H,△,g} ≥ k) for
-// every triangle; it reports the minimum estimate and whether all triangles
-// pass θ. Worlds are evaluated by the worker pool; each worker counts into
-// its own per-triangle slice and the counts are summed afterwards, so the
-// estimates are exactly the serial ones for every worker count.
-func estimateGlobal(h *probgraph.Graph, k int, theta float64, n int, seed int64, workers int) (float64, bool) {
-	verts := vertexSet(h)
-	triList := h.G.Triangles() // triangles the candidate subgraph can form
-	counts := make([][]int, workers)
-	for w := range counts {
-		counts[w] = make([]int, len(triList))
+// triSetDedup deduplicates sorted triangle-id sets by an FNV-1a style hash
+// over the ids with an exact-equality fallback on hash collisions, so the
+// dedup semantics are identical to comparing the sets themselves. Inserted
+// sets are copied into one flat arena; nothing is built per lookup.
+type triSetDedup struct {
+	byHash map[uint64][]int32 // hash → indices of stored sets
+	offs   []int32            // stored set i occupies flat[offs[i]:offs[i+1]]
+	flat   []int32
+}
+
+func hashIDSet(ids []int32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		h ^= uint64(uint32(id))
+		h *= prime64
 	}
-	mc.ForEachWorld(h, n, workers, seed, func(worker, _ int, w *graph.Graph) {
-		if !decomp.IsGlobalNucleusWorld(w, verts, k) {
+	return h
+}
+
+// insert reports whether the set is new, recording it when so. The caller
+// may reuse the backing of ids afterwards; stored sets live in the arena.
+func (d *triSetDedup) insert(ids []int32) bool {
+	if d.byHash == nil {
+		d.byHash = make(map[uint64][]int32)
+		d.offs = append(d.offs, 0)
+	}
+	h := hashIDSet(ids)
+	for _, si := range d.byHash[h] {
+		if slices.Equal(d.flat[d.offs[si]:d.offs[si+1]], ids) {
+			return false
+		}
+	}
+	si := int32(len(d.offs) - 1)
+	d.flat = append(d.flat, ids...)
+	d.offs = append(d.offs, int32(len(d.flat)))
+	d.byHash[h] = append(d.byHash[h], si)
+	return true
+}
+
+// globalEstimator holds the per-candidate Monte-Carlo validation state of
+// Algorithm 2: one WorldChecker and count slice per pool worker, the
+// candidate's vertex list, and the scratch behind the candidate's index
+// view. All of it is reused across candidates.
+type globalEstimator struct {
+	pool     *par.Pool
+	checkers []decomp.WorldChecker
+	counts   [][]int32
+	verts    []int32
+	sub      graph.SubIndexScratch
+}
+
+func newGlobalEstimator(pool *par.Pool) *globalEstimator {
+	return &globalEstimator{
+		pool:     pool,
+		checkers: make([]decomp.WorldChecker, pool.Workers()),
+		counts:   make([][]int32, pool.Workers()),
+	}
+}
+
+// estimate samples n worlds of h and estimates Pr(X_{H,△,g} ≥ k) for every
+// triangle of h; it reports the minimum estimate and whether all triangles
+// pass θ. h's triangles come from restricting the parent index (no
+// re-enumeration), and each world is checked and counted through a reusable
+// per-worker view of that restriction. Each worker counts into its own
+// per-triangle slice and the counts are summed afterwards, so the estimates
+// are exactly the serial ones for every worker count.
+func (ge *globalEstimator) estimate(h *probgraph.Graph, parent *graph.TriangleIndex, k int, theta float64, n int, seed int64) (float64, bool) {
+	hti := parent.SubIndex(h.G, &ge.sub)
+	m := hti.Len()
+	ge.verts = appendPositiveDegree(ge.verts[:0], h.G)
+	for w := range ge.counts {
+		ge.counts[w] = resizeCleared(ge.counts[w], m)
+		ge.checkers[w].Reset(hti)
+	}
+	mc.ForEachWorldPool(ge.pool, h, n, seed, func(worker, _ int, w *graph.Graph) {
+		ids, ok := ge.checkers[worker].QualifyingTriangles(w, ge.verts, k)
+		if !ok {
 			return
 		}
-		cnt := counts[worker]
-		for j, tri := range triList {
-			if w.HasEdge(tri.A, tri.B) && w.HasEdge(tri.A, tri.C) && w.HasEdge(tri.B, tri.C) {
-				cnt[j]++
-			}
+		cnt := ge.counts[worker]
+		for _, id := range ids {
+			cnt[id]++
 		}
 	})
 	minProb := 1.0
-	for j := range triList {
-		total := 0
-		for w := range counts {
-			total += counts[w][j]
+	for j := 0; j < m; j++ {
+		total := int32(0)
+		for w := range ge.counts {
+			total += ge.counts[w][j]
 		}
 		p := float64(total) / float64(n)
 		if p < minProb {
@@ -260,27 +399,27 @@ func estimateGlobal(h *probgraph.Graph, k int, theta float64, n int, seed int64,
 	return minProb, true
 }
 
-func vertexSet(pg *probgraph.Graph) []int32 {
-	seen := make(map[int32]bool)
-	var out []int32
-	for _, e := range pg.Edges() {
-		for _, v := range []int32{e.U, e.V} {
-			if !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
-		}
+// resizeCleared returns s with length n and every element zero, reusing the
+// backing array when it is large enough.
+func resizeCleared(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
-	slices.Sort(out)
-	return out
+	s = s[:n]
+	clear(s)
+	return s
 }
 
-func triangleSetSignature(tris []int32) string {
-	b := make([]byte, 0, 4*len(tris))
-	for _, t := range tris {
-		b = append(b, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+// appendPositiveDegree appends the vertices of g with at least one incident
+// edge, in increasing order — the vertex set the global world predicate
+// requires to be connected.
+func appendPositiveDegree(dst []int32, g *graph.Graph) []int32 {
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > 0 {
+			dst = append(dst, v)
+		}
 	}
-	return string(b)
+	return dst
 }
 
 func buildProbNucleus(ti *graph.TriangleIndex, tris []int32, k int, theta, minProb float64) ProbNucleus {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"probnucleus/internal/fixtures"
@@ -105,6 +106,33 @@ func TestGlobalNucleiRejectsNegativeK(t *testing.T) {
 	}
 	if _, err := WeaklyGlobalNuclei(fixtures.Fig1(), -1, 0.3, MCOptions{Samples: 10}); err == nil {
 		t.Error("negative k accepted")
+	}
+}
+
+// TestNegativeKRejectedBeforeWork: k must be validated before the local
+// decomposition fallback or any sampling runs. The regression is observable
+// through the error itself: with an out-of-range θ, running LocalDecompose
+// first (the seed-era order) would surface the θ error instead of the
+// negative-k one.
+func TestNegativeKRejectedBeforeWork(t *testing.T) {
+	badTheta := 7.0 // would make LocalDecompose fail with a θ error
+	for name, run := range map[string]func() error{
+		"global": func() error {
+			_, err := GlobalNuclei(fixtures.Fig1(), -1, badTheta, MCOptions{Samples: 10})
+			return err
+		},
+		"weak": func() error {
+			_, err := WeaklyGlobalNuclei(fixtures.Fig1(), -1, badTheta, MCOptions{Samples: 10})
+			return err
+		},
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: negative k accepted", name)
+		}
+		if !strings.Contains(err.Error(), "negative k") {
+			t.Errorf("%s: error %q; want the negative-k validation to fire before any work", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/probgraph"
+)
+
+// TestGlobalWeakGolden locks the global and weakly-global outputs to the
+// snapshot taken at commit d85b5fb, immediately before the allocation-free
+// candidate-pipeline refactor — proving the arena/index-reuse rework is
+// byte-identical on the fixture corpus (nucleus sets, vertex/edge/triangle
+// lists, and the Monte-Carlo MinProb estimates down to the last bit).
+//
+// Regenerate testdata/global_weak_golden.txt with `go run ./cmd/goldendump`
+// only when an intentional semantic change is made; the dump format must
+// stay in sync with renderNuclei below.
+func TestGlobalWeakGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/global_weak_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*probgraph.Graph{
+		"fig1":   fixtures.Fig1(),
+		"k5":     fixtures.Fig3cK5(),
+		"krogan": dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04))),
+	}
+	cases := []struct {
+		name    string
+		k       int
+		theta   float64
+		samples int
+		seed    int64
+	}{
+		{"fig1", 1, 0.35, 500, 5},
+		{"fig1", 0, 0.30, 300, 2},
+		{"k5", 2, 0.01, 400, 7},
+		{"krogan", 1, 0.001, 100, 1},
+	}
+	var got strings.Builder
+	for _, c := range cases {
+		pg := graphs[c.name]
+		opts := MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1}
+		g, err := GlobalNuclei(pg, c.k, c.theta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&got, "=== global/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, renderNuclei(g))
+		w, err := WeaklyGlobalNuclei(pg, c.k, c.theta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&got, "=== weak/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, renderNuclei(w))
+	}
+	if got.String() != string(raw) {
+		gotLines := strings.Split(got.String(), "\n")
+		wantLines := strings.Split(string(raw), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Fatalf("output diverges from pre-refactor golden at line %d:\n got: %s\nwant: %s", i+1, g, w)
+			}
+		}
+		t.Fatal("output differs from pre-refactor golden")
+	}
+}
+
+// renderNuclei mirrors cmd/goldendump's rendering; the two must stay in sync.
+func renderNuclei(ns []ProbNucleus) string {
+	s := fmt.Sprintf("%d nuclei\n", len(ns))
+	for _, n := range ns {
+		s += fmt.Sprintf("k=%d theta=%g minprob=%.17g verts=%v edges=%v tris=%v\n",
+			n.K, n.Theta, n.MinProb, n.Vertices, n.Edges, n.Triangles)
+	}
+	return s
+}

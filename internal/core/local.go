@@ -50,9 +50,23 @@ type Options struct {
 	// stages only ever write per-triangle slots and all queue mutations are
 	// applied in a fixed order.
 	Workers int
+	// Pool, when non-nil, is a caller-owned worker pool to run on instead of
+	// spawning one per call; it overrides Workers and stays open afterwards.
+	// Servers running many small decompositions share one pool across the
+	// local, global, and weak phases (see Decomposer).
+	Pool *par.Pool
 }
 
 func (o Options) workerCount() int { return par.Workers(o.Workers) }
+
+// pool resolves the worker pool to run on: the caller-owned one when set, or
+// a fresh pool (owned reports true) the caller of pool() must close.
+func (o Options) pool() (p *par.Pool, owned bool) {
+	if o.Pool != nil {
+		return o.Pool, false
+	}
+	return par.NewPool(o.Workers), true
+}
 
 // rescoreParallelCutoff is the minimum number of affected triangles for
 // which a peeling step fans its re-scoring out to the worker pool; below it
@@ -94,10 +108,12 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
-	workers := opts.workerCount()
-	pool := par.NewPool(workers)
-	defer pool.Close()
-	ti := graph.NewTriangleIndexParallel(pg.G, workers)
+	pool, owned := opts.pool()
+	if owned {
+		defer pool.Close()
+	}
+	workers := pool.Workers()
+	ti := graph.NewTriangleIndexPool(pg.G, pool)
 	ca := decomp.NewCliqueAdjFromIndex(ti)
 	n := ti.Len()
 
@@ -282,12 +298,16 @@ func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.Tria
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
-	workers := opts.workerCount()
-	ti := graph.NewTriangleIndexParallel(pg.G, workers)
+	pool, owned := opts.pool()
+	if owned {
+		defer pool.Close()
+	}
+	workers := pool.Workers()
+	ti := graph.NewTriangleIndexPool(pg.G, pool)
 	kappa := make([]int, ti.Len())
 	methods := make([]pbd.Method, ti.Len())
 	scr := make([]scoreScratch, workers)
-	par.ForWorker(ti.Len(), workers, func(w, t int) {
+	pool.ForWorker(ti.Len(), func(w, t int) {
 		sc := &scr[w]
 		tri := ti.Tris[t]
 		pTri := pg.TriangleProb(tri)

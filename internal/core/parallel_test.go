@@ -83,46 +83,123 @@ func TestInitialKappaDifferential(t *testing.T) {
 	}
 }
 
+// mcDiffCases is the corpus the global/weak differential tests run over: the
+// paper fixture plus two generated datasets exercising non-trivial candidate
+// spaces (multiple candidates, dedup hits, rejected candidates).
+func mcDiffCases() []struct {
+	name    string
+	pg      *probgraph.Graph
+	k       int
+	theta   float64
+	samples int
+	seed    int64
+} {
+	return []struct {
+		name    string
+		pg      *probgraph.Graph
+		k       int
+		theta   float64
+		samples int
+		seed    int64
+	}{
+		{"fig1", fixtures.Fig1(), 1, 0.35, 500, 5},
+		{"krogan", dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04))), 1, 0.001, 100, 1},
+		{"dblp", dataset.Generate(dataset.MustLoad("dblp", dataset.Scale(0.025))), 1, 0.001, 60, 3},
+	}
+}
+
 // TestGlobalNucleiDifferential: the Monte-Carlo global decomposition returns
 // identical nuclei (including the estimated MinProb) for every worker count,
-// because worlds come from chunk-derived PRNG streams.
+// because worlds come from chunk-derived PRNG streams and per-world counts
+// merge commutatively.
 func TestGlobalNucleiDifferential(t *testing.T) {
-	pg := fixtures.Fig1()
-	base, err := GlobalNuclei(pg, 1, 0.35, MCOptions{Samples: 500, Seed: 5, Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(base) == 0 {
-		t.Fatal("serial run found no nuclei; differential test is vacuous")
-	}
-	for _, w := range diffWorkerCounts[1:] {
-		got, err := GlobalNuclei(pg, 1, 0.35, MCOptions{Samples: 500, Seed: 5, Workers: w})
+	for _, c := range mcDiffCases() {
+		base, err := GlobalNuclei(c.pg, c.k, c.theta, MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(got, base) {
-			t.Errorf("workers=%d: global nuclei differ from serial:\n got %+v\nwant %+v", w, got, base)
+		if c.name == "fig1" && len(base) == 0 {
+			t.Fatal("serial run found no nuclei; differential test is vacuous")
+		}
+		for _, w := range diffWorkerCounts[1:] {
+			got, err := GlobalNuclei(c.pg, c.k, c.theta, MCOptions{Samples: c.samples, Seed: c.seed, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%s workers=%d: global nuclei differ from serial:\n got %+v\nwant %+v", c.name, w, got, base)
+			}
 		}
 	}
 }
 
 // TestWeaklyGlobalNucleiDifferential: same contract for w-NuDecomp.
 func TestWeaklyGlobalNucleiDifferential(t *testing.T) {
-	pg := fixtures.Fig1()
-	base, err := WeaklyGlobalNuclei(pg, 1, 0.38, MCOptions{Samples: 500, Seed: 9, Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(base) == 0 {
-		t.Fatal("serial run found no nuclei; differential test is vacuous")
-	}
-	for _, w := range diffWorkerCounts[1:] {
-		got, err := WeaklyGlobalNuclei(pg, 1, 0.38, MCOptions{Samples: 500, Seed: 9, Workers: w})
+	for _, c := range mcDiffCases() {
+		theta := c.theta
+		if c.name == "fig1" {
+			theta = 0.38
+		}
+		base, err := WeaklyGlobalNuclei(c.pg, c.k, theta, MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(got, base) {
-			t.Errorf("workers=%d: weak nuclei differ from serial:\n got %+v\nwant %+v", w, got, base)
+		if c.name == "fig1" && len(base) == 0 {
+			t.Fatal("serial run found no nuclei; differential test is vacuous")
+		}
+		for _, w := range diffWorkerCounts[1:] {
+			got, err := WeaklyGlobalNuclei(c.pg, c.k, theta, MCOptions{Samples: c.samples, Seed: c.seed, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%s workers=%d: weak nuclei differ from serial:\n got %+v\nwant %+v", c.name, w, got, base)
+			}
+		}
+	}
+}
+
+// TestDecomposerMatchesPackageFunctions: running the three decompositions on
+// one shared-pool Decomposer — including repeated calls that reuse the
+// parked workers — must reproduce the package-level results exactly.
+func TestDecomposerMatchesPackageFunctions(t *testing.T) {
+	pg := fixtures.Fig1()
+	d := NewDecomposer(4)
+	defer d.Close()
+	for round := 0; round < 3; round++ { // reuse across rounds is the point
+		wantLocal, err := LocalDecompose(pg, 0.3, Options{Mode: ModeDP, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLocal, err := d.LocalDecompose(pg, 0.3, Options{Mode: ModeDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotLocal.Nucleusness, wantLocal.Nucleusness) {
+			t.Fatalf("round %d: decomposer local nucleusness differs", round)
+		}
+		opts := MCOptions{Samples: 300, Seed: 5, Workers: 4}
+		wantG, err := GlobalNuclei(pg, 1, 0.35, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotG, err := d.GlobalNuclei(pg, 1, 0.35, MCOptions{Samples: 300, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotG, wantG) {
+			t.Fatalf("round %d: decomposer global nuclei differ", round)
+		}
+		wantW, err := WeaklyGlobalNuclei(pg, 1, 0.38, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotW, err := d.WeaklyGlobalNuclei(pg, 1, 0.38, MCOptions{Samples: 300, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotW, wantW) {
+			t.Fatalf("round %d: decomposer weak nuclei differ", round)
 		}
 	}
 }

@@ -17,78 +17,113 @@ import (
 // triangle's global_score counts the worlds in which it belongs to a
 // deterministic k-nucleus. Triangles with score/n ≥ θ are assembled into
 // 4-clique-connected unions.
+//
+// The candidate pipeline reuses the parent triangle index throughout: each
+// candidate subgraph is indexed by restricting the local decomposition's
+// index (no re-enumeration), per-world membership is scored through reusable
+// per-worker views of that restriction, and scores accumulate in flat
+// per-triangle slots instead of per-world hash maps.
 func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k = %d", k)
+	}
+	pool, owned := opts.pool()
+	if owned {
+		defer pool.Close()
+	}
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Workers: opts.Workers})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool})
 		if err != nil {
 			return nil, err
 		}
 	}
-	if k < 0 {
-		return nil, fmt.Errorf("core: negative k = %d", k)
-	}
 	n := opts.sampleCount()
-	workers := opts.workerCount()
+	workers := pool.Workers()
 
 	var out []ProbNucleus
-	// global_score[△]: number of sampled worlds whose deterministic nucleus
-	// decomposition places △ inside a k-nucleus. Each worker scores into its
-	// own map; the merge is a commutative sum, so the totals match the serial
-	// run for every worker count. The maps are allocated once and cleared
-	// between candidates.
-	scores := make([]map[graph.Triangle]int, workers)
-	for w := range scores {
-		scores[w] = make(map[graph.Triangle]int)
-	}
+	// scores[w][t]: number of sampled worlds whose deterministic nucleus
+	// decomposition places candidate triangle t inside a k-nucleus,
+	// accumulated by worker w. The merge is a commutative sum, so the totals
+	// match the serial run for every worker count. The slices are reused and
+	// cleared between candidates.
+	scores := make([][]int32, workers)
+	scorers := make([]decomp.WorldMembershipScorer, workers)
+	var sub graph.SubIndexScratch
+	var qual []float64
 	for _, cand := range local.NucleiForK(k) {
 		h := candidateSubgraph(pg, cand)
+		hti := local.TI.SubIndex(h.G, &sub)
+		m := hti.Len()
 		for w := range scores {
-			clear(scores[w])
+			scores[w] = resizeCleared(scores[w], m)
+			scorers[w].Reset(hti)
 		}
-		mc.ForEachWorld(h, n, workers, opts.Seed, func(worker, _ int, w *graph.Graph) {
-			mine := scores[worker]
-			for tri := range decomp.WorldNucleusMembership(w, k) {
-				mine[tri]++
+		mc.ForEachWorldPool(pool, h, n, opts.Seed, func(worker, _ int, w *graph.Graph) {
+			cnt := scores[worker]
+			for _, id := range scorers[worker].Qualifying(w, k) {
+				cnt[id]++
 			}
 		})
 		score := scores[0]
-		for _, m := range scores[1:] {
-			for tri, c := range m {
-				score[tri] += c
+		for _, s := range scores[1:] {
+			for t, c := range s {
+				score[t] += c
 			}
 		}
-		// Qualifying triangles of the candidate.
-		qual := make(map[graph.Triangle]float64)
+		// Qualifying triangles of the candidate: qual[t] holds the estimated
+		// probability for candidate-index id t, or -1 when below θ.
+		qual = resizeFilled(qual, m, -1)
 		for _, tri := range cand.Triangles {
-			if p := float64(score[tri]) / float64(n); p >= theta {
-				qual[tri] = p
+			id, ok := hti.ID(tri)
+			if !ok {
+				continue // cannot happen: the candidate spans its own edges
+			}
+			if p := float64(score[id]) / float64(n); p >= theta {
+				qual[id] = p
 			}
 		}
-		out = append(out, assembleWeakNuclei(h.G, qual, k, theta)...)
+		out = append(out, assembleWeakNuclei(hti, qual, k, theta)...)
 	}
 	sortNuclei(out)
 	return out, nil
 }
 
-// assembleWeakNuclei groups the qualifying triangles into 4-clique-connected
-// components ("connected union of △'s", Algorithm 3 line 12).
-func assembleWeakNuclei(g *graph.Graph, qual map[graph.Triangle]float64, k int, theta float64) []ProbNucleus {
-	if len(qual) == 0 {
-		return nil
+// resizeFilled returns s with length n and every element set to v, reusing
+// the backing array when it is large enough.
+func resizeFilled(s []float64, n int, v float64) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
 	}
-	ti := graph.NewTriangleIndex(g)
-	ids := make([]int32, 0, len(qual))
-	inQual := make([]bool, ti.Len())
-	for tri := range qual {
-		if id, ok := ti.ID(tri); ok {
-			ids = append(ids, id)
-			inQual[id] = true
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// assembleWeakNuclei groups the qualifying triangles into 4-clique-connected
+// components ("connected union of △'s", Algorithm 3 line 12). ti is the
+// candidate's triangle index and qual the per-id estimate (-1 for triangles
+// below θ); the candidate's index is reused directly, where the seed-era
+// path rebuilt a fresh TriangleIndex of the candidate subgraph per call.
+func assembleWeakNuclei(ti *graph.TriangleIndex, qual []float64, k int, theta float64) []ProbNucleus {
+	anyQual := false
+	for _, p := range qual {
+		if p >= 0 {
+			anyQual = true
+			break
 		}
 	}
+	if !anyQual {
+		return nil
+	}
 	u := uf.New(ti.Len())
-	for _, t := range ids {
+	for t := int32(0); int(t) < ti.Len(); t++ {
+		if qual[t] < 0 {
+			continue
+		}
 		tri := ti.Tris[t]
 		for _, z := range ti.Comps[t] {
 			others := [3]graph.Triangle{
@@ -100,7 +135,7 @@ func assembleWeakNuclei(g *graph.Graph, qual map[graph.Triangle]float64, k int, 
 			var oids [3]int32
 			for i, o := range others {
 				id, exists := ti.ID(o)
-				if !exists || !inQual[id] {
+				if !exists || qual[id] < 0 {
 					ok = false
 					break
 				}
@@ -114,31 +149,29 @@ func assembleWeakNuclei(g *graph.Graph, qual map[graph.Triangle]float64, k int, 
 			}
 		}
 	}
-	groups := u.Groups(1, func(t int32) bool { return inQual[t] })
+	groups := u.Groups(1, func(t int32) bool { return qual[t] >= 0 })
 	out := make([]ProbNucleus, 0, len(groups))
 	for _, grp := range groups {
-		nuc := buildProbNucleus(ti, grp, k, theta, minQualProb(ti, grp, qual))
-		out = append(out, nuc)
+		out = append(out, buildProbNucleus(ti, grp, k, theta, minQualProb(grp, qual)))
 	}
 	return out
 }
 
-func minQualProb(ti *graph.TriangleIndex, grp []int32, qual map[graph.Triangle]float64) float64 {
+func minQualProb(grp []int32, qual []float64) float64 {
 	min := 1.0
 	for _, t := range grp {
-		if p := qual[ti.Tris[t]]; p < min {
+		if p := qual[t]; p < min {
 			min = p
 		}
 	}
 	return min
 }
 
+// candidateSubgraph extracts the probabilistic subgraph spanned by a local
+// nucleus. Nucleus edge lists are canonical and sorted, so the subgraph is
+// assembled directly from the sorted slice — membership and probabilities
+// resolve by binary search in pg's adjacency, with no per-candidate edge
+// hash map.
 func candidateSubgraph(pg *probgraph.Graph, cand decomp.Nucleus) *probgraph.Graph {
-	es := make(map[graph.Edge]bool, len(cand.Edges))
-	for _, e := range cand.Edges {
-		es[e.Canon()] = true
-	}
-	return pg.EdgeSubgraph(func(u, v int32) bool {
-		return es[graph.Edge{U: u, V: v}.Canon()]
-	})
+	return pg.SubgraphOfEdges(cand.Edges)
 }

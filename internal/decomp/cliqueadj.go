@@ -52,23 +52,41 @@ func NewCliqueAdj(g *graph.Graph) *CliqueAdj {
 // NewCliqueAdjFromIndex builds the adjacency over an existing triangle
 // index.
 func NewCliqueAdjFromIndex(ti *graph.TriangleIndex) *CliqueAdj {
+	ca := &CliqueAdj{}
+	ca.Reset(ti)
+	return ca
+}
+
+// Reset rebinds ca to an index, reusing its slot storage from previous
+// rounds. It lets hot loops (per-sampled-world peeling) run many
+// decompositions on one adjacency without reallocating; the zero value of
+// CliqueAdj is ready for Reset.
+func (ca *CliqueAdj) Reset(ti *graph.TriangleIndex) {
 	n := ti.Len()
-	ca := &CliqueAdj{
-		TI:         ti,
-		off:        make([]int, n+1),
-		AliveCount: make([]int, n),
-		Dead:       make([]bool, n),
+	ca.TI = ti
+	if cap(ca.off) < n+1 {
+		ca.off = make([]int, n+1)
+		ca.AliveCount = make([]int, n)
+		ca.Dead = make([]bool, n)
 	}
+	ca.off = ca.off[:n+1]
+	ca.AliveCount = ca.AliveCount[:n]
+	ca.Dead = ca.Dead[:n]
+	ca.off[0] = 0
 	for t := 0; t < n; t++ {
 		c := len(ti.Comps[t])
 		ca.off[t+1] = ca.off[t] + c
 		ca.AliveCount[t] = c
+		ca.Dead[t] = false
 	}
-	ca.alive = make([]bool, ca.off[n])
+	total := ca.off[n]
+	if cap(ca.alive) < total {
+		ca.alive = make([]bool, total)
+	}
+	ca.alive = ca.alive[:total]
 	for i := range ca.alive {
 		ca.alive[i] = true
 	}
-	return ca
 }
 
 // Len returns the number of triangles.

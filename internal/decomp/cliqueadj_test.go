@@ -168,3 +168,27 @@ func TestRemoveTriangleReportsSlots(t *testing.T) {
 		}
 	}
 }
+
+// TestCliqueAdjResetReuses: Reset must restore full liveness over a (possibly
+// different) index without reallocating when the old storage fits, and the
+// peeling result after Reset must match a fresh adjacency.
+func TestCliqueAdjResetReuses(t *testing.T) {
+	g5 := completeGraph(5)
+	g6 := completeGraph(6)
+	ca := NewCliqueAdj(g6) // big first, so g5 rounds reuse storage
+	for round := 0; round < 3; round++ {
+		ti := graph.NewTriangleIndex(g5)
+		ca.Reset(ti)
+		for t5 := 0; t5 < ti.Len(); t5++ {
+			if ca.AliveCount[t5] != len(ti.Comps[t5]) || ca.Dead[t5] {
+				t.Fatalf("round %d: triangle %d not fully alive after Reset", round, t5)
+			}
+		}
+		nu := nucleusPeel(ca)
+		for t5, v := range nu {
+			if v != 2 {
+				t.Fatalf("round %d: K5 nucleusness[%d] = %d, want 2", round, t5, v)
+			}
+		}
+	}
+}

@@ -30,24 +30,32 @@ func BuildHierarchy(ti *graph.TriangleIndex, nu []int, kmin int) *Hierarchy {
 	if kmin < 0 {
 		kmin = 0
 	}
-	// triOwner[t] = node index of the deepest-level nucleus seen so far that
-	// contains triangle t; as we walk levels upward, the previous level's
-	// owner is the parent.
-	prevOwner := make(map[graph.Triangle]int)
+	// prevOwner[t] = node index of the previous level's nucleus containing
+	// triangle id t (-1 for none); as we walk levels upward, that nucleus is
+	// the parent. Ownership is tracked in two flat arrays indexed by the
+	// shared triangle index — every level's nuclei carry ids from the same
+	// parent index, so no per-level triangle→node hash maps are needed.
+	prevOwner := make([]int32, ti.Len())
+	curOwner := make([]int32, ti.Len())
+	for i := range prevOwner {
+		prevOwner[i] = -1
+	}
 	for k := kmin; k <= maxK; k++ {
 		nuclei := KNuclei(ti, nu, k)
 		if len(nuclei) == 0 {
 			break
 		}
-		curOwner := make(map[graph.Triangle]int, len(prevOwner))
+		for i := range curOwner {
+			curOwner[i] = -1
+		}
 		for _, nuc := range nuclei {
 			idx := len(h.Nodes)
 			node := HierarchyNode{K: k, Nucleus: nuc, Parent: -1}
 			// The parent is the level-(k-1) nucleus containing any of this
 			// nucleus's triangles (they all share the same one).
 			if k > kmin {
-				if p, ok := prevOwner[nuc.Triangles[0]]; ok {
-					node.Parent = p
+				if id, ok := ti.ID(nuc.Triangles[0]); ok && prevOwner[id] >= 0 {
+					node.Parent = int(prevOwner[id])
 				}
 			}
 			h.Nodes = append(h.Nodes, node)
@@ -57,10 +65,12 @@ func BuildHierarchy(ti *graph.TriangleIndex, nu []int, kmin int) *Hierarchy {
 				h.Roots = append(h.Roots, idx)
 			}
 			for _, tri := range nuc.Triangles {
-				curOwner[tri] = idx
+				if id, ok := ti.ID(tri); ok {
+					curOwner[id] = int32(idx)
+				}
 			}
 		}
-		prevOwner = curOwner
+		prevOwner, curOwner = curOwner, prevOwner
 	}
 	return h
 }

@@ -1,9 +1,122 @@
 package decomp
 
 import (
+	"probnucleus/internal/bucket"
 	"probnucleus/internal/graph"
 	"probnucleus/internal/uf"
 )
+
+// WorldChecker evaluates the global-semantics world predicate (Definition 4,
+// see IsGlobalNucleusWorld) for many sampled worlds of one candidate
+// subgraph. It is bound to the candidate's triangle index and restricts it to
+// each world with a reusable SubIndex view instead of enumerating the world's
+// triangles from scratch, and it keeps its BFS and union-find scratch across
+// worlds — so the steady-state per-world cost is a filtering scan with no
+// index rebuild. One checker serves one worker; Reset rebinds it to the next
+// candidate.
+type WorldChecker struct {
+	hti     *graph.TriangleIndex
+	sub     graph.SubIndexScratch
+	u       uf.UF
+	visited []int32
+	stamp   int32
+	queue   []int32
+}
+
+// Reset binds the checker to the triangle index of a candidate subgraph.
+// Every world passed to QualifyingTriangles afterwards must be a subgraph of
+// that candidate (over the same vertex-id space).
+func (wc *WorldChecker) Reset(hti *graph.TriangleIndex) { wc.hti = hti }
+
+// QualifyingTriangles reports whether the world satisfies the deterministic
+// k-nucleus predicate over the fixed vertex set verts, exactly as
+// IsGlobalNucleusWorld does. When it holds, it also returns the candidate-
+// index ids (ids in the hti passed to Reset) of the world's triangles — the
+// triangles a Monte-Carlo counting pass should credit for this world. The
+// returned slice aliases the checker's scratch and is valid until the next
+// call.
+func (wc *WorldChecker) QualifyingTriangles(world *graph.Graph, verts []int32, k int) ([]int32, bool) {
+	if !wc.connectedOver(world, verts) {
+		return nil, false
+	}
+	view := wc.hti.SubIndex(world, &wc.sub)
+	m := view.Len()
+	if k == 0 {
+		// Connectivity is the whole predicate (Lemma 2); the view only
+		// supplies the triangle list for counting.
+		return wc.sub.ParentIDs(), true
+	}
+	if m == 0 {
+		// No triangles at all: there is nothing whose support can reach
+		// k ≥ 1, and a k-nucleus must contain triangles.
+		return nil, false
+	}
+	for t := 0; t < m; t++ {
+		if len(view.Comps[t]) < k {
+			return nil, false
+		}
+	}
+	// Triangle 4-clique-connectivity.
+	wc.u.Reset(m)
+	for t := 0; t < m; t++ {
+		tri := view.Tris[t]
+		for _, z := range view.Comps[t] {
+			for _, o := range [3]graph.Triangle{
+				graph.MakeTriangle(tri.A, tri.B, z),
+				graph.MakeTriangle(tri.A, tri.C, z),
+				graph.MakeTriangle(tri.B, tri.C, z),
+			} {
+				id, ok := view.ID(o)
+				if !ok {
+					return nil, false // cannot happen on a consistent view
+				}
+				wc.u.Union(int32(t), id)
+			}
+		}
+	}
+	root := wc.u.Find(0)
+	for t := 1; t < m; t++ {
+		if wc.u.Find(int32(t)) != root {
+			return nil, false
+		}
+	}
+	return wc.sub.ParentIDs(), true
+}
+
+// connectedOver reports whether all the given vertices lie in a single
+// connected component of world, by BFS from verts[0] over a stamp array. An
+// empty or singleton vertex set counts as connected.
+func (wc *WorldChecker) connectedOver(world *graph.Graph, verts []int32) bool {
+	if len(verts) <= 1 {
+		return true
+	}
+	n := world.NumVertices()
+	if len(wc.visited) < n {
+		wc.visited = make([]int32, n)
+		wc.stamp = 0
+	}
+	wc.stamp++
+	stamp := wc.stamp
+	queue := append(wc.queue[:0], verts[0])
+	wc.visited[verts[0]] = stamp
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range world.Neighbors(v) {
+			if wc.visited[w] != stamp {
+				wc.visited[w] = stamp
+				queue = append(queue, w)
+			}
+		}
+	}
+	wc.queue = queue
+	for _, v := range verts[1:] {
+		if wc.visited[v] != stamp {
+			return false
+		}
+	}
+	return true
+}
 
 // IsGlobalNucleusWorld reports whether a possible world qualifies as a
 // deterministic k-nucleus for the global (g) semantics of Definition 4:
@@ -22,88 +135,77 @@ import (
 //
 // For k = 0 the last two conditions are vacuous and the predicate collapses
 // to world connectivity, exactly as Lemma 2 requires.
+//
+// This convenience form builds a fresh index for the world; hot loops use a
+// WorldChecker bound to the candidate's index instead.
 func IsGlobalNucleusWorld(world *graph.Graph, verts []int32, k int) bool {
-	if !connectedOver(world, verts) {
-		return false
-	}
-	if k == 0 {
-		return true
-	}
-	ti := graph.NewTriangleIndex(world)
-	if ti.Len() == 0 {
-		// No triangles at all: there is nothing whose support can reach
-		// k ≥ 1, and a k-nucleus must contain triangles.
-		return false
-	}
-	for t := 0; t < ti.Len(); t++ {
-		if len(ti.Comps[t]) < k {
-			return false
-		}
-	}
-	// Triangle 4-clique-connectivity.
-	u := uf.New(ti.Len())
-	for t := 0; t < ti.Len(); t++ {
-		tri := ti.Tris[t]
-		for _, z := range ti.Comps[t] {
-			for _, o := range [3]graph.Triangle{
-				graph.MakeTriangle(tri.A, tri.B, z),
-				graph.MakeTriangle(tri.A, tri.C, z),
-				graph.MakeTriangle(tri.B, tri.C, z),
-			} {
-				id, ok := ti.ID(o)
-				if !ok {
-					return false // cannot happen on a consistent index
-				}
-				u.Union(int32(t), id)
-			}
-		}
-	}
-	root := u.Find(0)
-	for t := 1; t < ti.Len(); t++ {
-		if u.Find(int32(t)) != root {
-			return false
-		}
-	}
-	return true
+	var wc WorldChecker
+	wc.Reset(graph.NewTriangleIndex(world))
+	_, ok := wc.QualifyingTriangles(world, verts, k)
+	return ok
 }
 
-// connectedOver reports whether all the given vertices lie in a single
-// connected component of world. An empty or singleton vertex set counts as
-// connected.
-func connectedOver(world *graph.Graph, verts []int32) bool {
-	if len(verts) <= 1 {
-		return true
+// WorldMembershipScorer evaluates, for many sampled worlds of one candidate
+// subgraph, which candidate triangles have deterministic nucleusness ≥ k in
+// the world — the predicate 1w(G, △, k) of Definition 4 for all triangles at
+// once. Like WorldChecker it restricts the candidate's index to each world
+// with a reusable view instead of re-enumerating, and reports results as
+// candidate-index ids so callers can count into flat per-triangle slots. One
+// scorer serves one worker; Reset rebinds it to the next candidate.
+type WorldMembershipScorer struct {
+	hti *graph.TriangleIndex
+	sub graph.SubIndexScratch
+	out []int32
+	// Reusable per-world peeling state (see nucleusPeelInto).
+	ca CliqueAdj
+	q  bucket.Queue
+	nu []int
+}
+
+// Reset binds the scorer to the triangle index of a candidate subgraph.
+func (ws *WorldMembershipScorer) Reset(hti *graph.TriangleIndex) { ws.hti = hti }
+
+// Qualifying returns the candidate-index ids of the world's triangles whose
+// deterministic nucleusness in the world is at least k, via one deterministic
+// nucleus decomposition of the world. The returned slice aliases the scorer's
+// scratch and is valid until the next call.
+func (ws *WorldMembershipScorer) Qualifying(world *graph.Graph, k int) []int32 {
+	view := ws.hti.SubIndex(world, &ws.sub)
+	pids := ws.sub.ParentIDs()
+	out := ws.out[:0]
+	if k == 0 {
+		// Every triangle is its own connected 0-nucleus (Lemma 2 semantics).
+		out = append(out, pids...)
+		ws.out = out
+		return out
 	}
-	comp, _ := world.ConnectedComponents(true)
-	c0 := comp[verts[0]]
-	for _, v := range verts[1:] {
-		if comp[v] != c0 {
-			return false
+	ws.ca.Reset(view)
+	if cap(ws.nu) < view.Len() {
+		ws.nu = make([]int, view.Len())
+	}
+	nu := nucleusPeelInto(&ws.ca, &ws.q, ws.nu[:view.Len()])
+	for t := range nu {
+		if nu[t] >= k && hasLevelKClique(view, nu, int32(t), k) {
+			out = append(out, pids[t])
 		}
 	}
-	return true
+	ws.out = out
+	return out
 }
 
 // WorldNucleusMembership returns, for the given world, the set of triangles
 // (as canonical Triangles) whose deterministic nucleusness in the world is
 // at least k — equivalently, the triangles for which some subgraph of the
-// world is a deterministic k-nucleus containing them. This is the predicate
-// 1w(G, △, k) of Definition 4, evaluated for all triangles of the world at
-// once via one deterministic nucleus decomposition.
+// world is a deterministic k-nucleus containing them. This convenience form
+// builds a fresh index for the world; hot loops use a WorldMembershipScorer
+// bound to the candidate's index instead.
 func WorldNucleusMembership(world *graph.Graph, k int) map[graph.Triangle]bool {
+	ti := graph.NewTriangleIndex(world)
+	var ws WorldMembershipScorer
+	ws.Reset(ti)
 	out := make(map[graph.Triangle]bool)
-	if k == 0 {
-		// Every triangle is its own connected 0-nucleus (Lemma 2 semantics).
-		for _, tri := range world.Triangles() {
-			out[tri] = true
-		}
-		return out
-	}
-	ti, nu := NucleusNumbers(world)
-	for t := 0; t < ti.Len(); t++ {
-		if nu[t] >= k && hasLevelKClique(ti, nu, int32(t), k) {
-			out[ti.Tris[t]] = true
-		}
+	for _, id := range ws.Qualifying(world, k) {
+		out[ti.Tris[id]] = true
 	}
 	return out
 }

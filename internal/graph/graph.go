@@ -265,6 +265,15 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromCSR builds a Graph directly from its CSR arrays: offs has length n+1
+// and adj holds the sorted adjacency of vertex v at adj[offs[v]:offs[v+1]].
+// The caller promises the usual invariants (symmetric, simple, sorted lists)
+// — nothing is validated — and the graph takes ownership of both slices.
+// This is the allocation-lean construction path for callers that can emit
+// adjacency in sorted order directly, such as possible-world sampling and
+// subgraph extraction over an already-sorted edge list.
+func FromCSR(offs, adj []int32) *Graph { return &Graph{offs: offs, adj: adj} }
+
 // FromEdges builds a graph from a list of edges, ignoring duplicates.
 func FromEdges(n int, edges []Edge) *Graph {
 	b := NewBuilder(n)

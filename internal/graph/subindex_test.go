@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// subgraphKeepingEdges returns the subgraph of g keeping each edge iff
+// keep(u,v) (canonical order) reports true.
+func subgraphKeepingEdges(g *Graph, keep func(u, v int32) bool) *Graph {
+	return g.InducedSubgraph(keep)
+}
+
+// TestSubIndexMatchesFreshIndex: restricting an index to a random edge-
+// subgraph must agree with enumerating the subgraph from scratch — the same
+// triangle set, the same completion list per triangle, and ID lookups that
+// answer exactly for the surviving triangles.
+func TestSubIndexMatchesFreshIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 14, 0.45)
+		ti := NewTriangleIndex(g)
+		sub := subgraphKeepingEdges(g, func(u, v int32) bool {
+			return rng.Float64() < 0.7
+		})
+		var scr SubIndexScratch
+		view := ti.SubIndex(sub, &scr)
+		want := NewTriangleIndex(sub)
+
+		if view.Len() != want.Len() {
+			t.Fatalf("trial %d: view has %d triangles, fresh index %d", trial, view.Len(), want.Len())
+		}
+		for i, tri := range view.Tris {
+			wid, ok := want.ID(tri)
+			if !ok {
+				t.Fatalf("trial %d: view triangle %v not in fresh index", trial, tri)
+			}
+			gotComps := view.Comps[i]
+			wantComps := want.Comps[wid]
+			if len(gotComps) != len(wantComps) {
+				t.Fatalf("trial %d: triangle %v completions %v != %v", trial, tri, gotComps, wantComps)
+			}
+			for j := range gotComps {
+				if gotComps[j] != wantComps[j] {
+					t.Fatalf("trial %d: triangle %v completions %v != %v", trial, tri, gotComps, wantComps)
+				}
+			}
+			// ID must translate through the parent.
+			id, ok := view.ID(tri)
+			if !ok || id != int32(i) {
+				t.Fatalf("trial %d: view.ID(%v) = %d,%v; want %d,true", trial, tri, id, ok, i)
+			}
+		}
+		// Triangles absent from the view must not resolve.
+		for _, tri := range ti.Tris {
+			if _, inWant := want.ID(tri); inWant {
+				continue
+			}
+			if _, ok := view.ID(tri); ok {
+				t.Fatalf("trial %d: dropped triangle %v still resolves in view", trial, tri)
+			}
+		}
+		// ParentIDs must map view ids back to parent ids.
+		for i, pid := range scr.ParentIDs() {
+			if ti.Tris[pid] != view.Tris[i] {
+				t.Fatalf("trial %d: ParentIDs()[%d] = %d names %v, view triangle is %v",
+					trial, i, pid, ti.Tris[pid], view.Tris[i])
+			}
+		}
+	}
+}
+
+// TestSubIndexStacked: a view of a view (candidate view refined per world)
+// must behave like restricting the root index directly.
+func TestSubIndexStacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 12, 0.5)
+		ti := NewTriangleIndex(g)
+		mid := subgraphKeepingEdges(g, func(u, v int32) bool { return rng.Float64() < 0.8 })
+		inner := subgraphKeepingEdges(mid, func(u, v int32) bool { return rng.Float64() < 0.8 })
+
+		var scr1, scr2 SubIndexScratch
+		midView := ti.SubIndex(mid, &scr1)
+		innerView := midView.SubIndex(inner, &scr2)
+		want := NewTriangleIndex(inner)
+
+		if innerView.Len() != want.Len() {
+			t.Fatalf("trial %d: stacked view has %d triangles, fresh %d", trial, innerView.Len(), want.Len())
+		}
+		for i, tri := range innerView.Tris {
+			id, ok := innerView.ID(tri)
+			if !ok || id != int32(i) {
+				t.Fatalf("trial %d: stacked view.ID(%v) = %d,%v; want %d,true", trial, tri, id, ok, i)
+			}
+			wid, ok := want.ID(tri)
+			if !ok {
+				t.Fatalf("trial %d: stacked view triangle %v not in fresh index", trial, tri)
+			}
+			if len(innerView.Comps[i]) != len(want.Comps[wid]) {
+				t.Fatalf("trial %d: triangle %v completion counts differ", trial, tri)
+			}
+		}
+	}
+}
+
+// TestSubIndexScratchReuse: rebuilding views on one scratch must not corrupt
+// results, and the steady state must not allocate.
+func TestSubIndexScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 16, 0.5)
+	ti := NewTriangleIndex(g)
+	subs := make([]*Graph, 8)
+	for i := range subs {
+		subs[i] = subgraphKeepingEdges(g, func(u, v int32) bool { return rng.Float64() < 0.75 })
+	}
+	var scr SubIndexScratch
+	for _, sub := range subs { // warm the buffers
+		ti.SubIndex(sub, &scr)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		ti.SubIndex(subs[i%len(subs)], &scr)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("SubIndex allocates %v per call at steady state, want 0", allocs)
+	}
+}

@@ -57,7 +57,8 @@ func (g *Graph) Triangles() []Triangle {
 
 // ForEachTriangle calls fn once per triangle of g.
 func (g *Graph) ForEachTriangle(fn func(Triangle)) {
-	fwd := g.forwardAdjacency(1)
+	pool := par.NewPool(1)
+	fwd := g.forwardAdjacency(pool)
 	var scratch []int32
 	for v := int32(0); int(v) < g.NumVertices(); v++ {
 		scratch = trianglesRootedAt(fwd, v, scratch, fn)
@@ -68,13 +69,13 @@ func (g *Graph) ForEachTriangle(fn func(Triangle)) {
 // degeneracy-rank orientation, sorted by id, laid out CSR-style in one flat
 // backing array (count pass, prefix sum, fill pass — no per-vertex
 // allocations). Each slot is written only by the worker that owns the
-// vertex.
-func (g *Graph) forwardAdjacency(workers int) [][]int32 {
+// vertex; the passes run on the caller's pool.
+func (g *Graph) forwardAdjacency(pool *par.Pool) [][]int32 {
 	n := g.NumVertices()
 	rank := g.degeneracyRank()
 	fwd := make([][]int32, n)
 	counts := make([]int, n+1)
-	par.For(n, workers, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		c := 0
 		for _, w := range g.Neighbors(v) {
@@ -88,7 +89,7 @@ func (g *Graph) forwardAdjacency(workers int) [][]int32 {
 		counts[i+1] += counts[i]
 	}
 	flat := make([]int32, counts[n])
-	par.For(n, workers, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		dst := flat[counts[vi]:counts[vi]:counts[vi+1]]
 		for _, w := range g.Neighbors(v) {
@@ -172,12 +173,22 @@ func (g *Graph) degeneracyRank() []int32 {
 // TriangleIndex assigns dense ids to the triangles of a graph and supports
 // lookup by vertex triple. It also stores, for each triangle, the list of
 // "completion" vertices z such that the triangle plus z forms a 4-clique.
+//
+// An index is either a root (built by NewTriangleIndex over a graph, with a
+// hash map for lookup) or a view built by SubIndex: the restriction of a
+// parent index to an edge-subgraph, which answers lookups through the parent
+// plus an id-translation array instead of its own map.
 type TriangleIndex struct {
 	Tris []Triangle
 	ids  map[Triangle]int32
 	// Comps[t] lists the completion vertices of triangle t in increasing
 	// order; {t.A, t.B, t.C, z} is a 4-clique of the graph for each z.
 	Comps [][]int32
+	// Views only: the index this one restricts, and the translation from
+	// parent triangle ids to view ids (-1 for triangles absent from the
+	// view).
+	parent *TriangleIndex
+	subID  []int32
 }
 
 // NewTriangleIndex enumerates the triangles of g, assigns ids, and computes
@@ -194,12 +205,22 @@ func NewTriangleIndex(g *Graph) *TriangleIndex {
 // index (triangle ids, Tris order, Comps contents) is byte-identical to the
 // serial one for every worker count.
 func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
-	workers = par.Workers(workers)
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	return NewTriangleIndexPool(g, pool)
+}
+
+// NewTriangleIndexPool is NewTriangleIndexParallel on a caller-owned worker
+// pool: the five parallel passes (forward-adjacency count/fill, rooted
+// enumeration, completion count/fill) all reuse the pool's parked helpers
+// instead of spawning goroutines per pass, which matters for servers
+// building many indices on a shared pool.
+func NewTriangleIndexPool(g *Graph, pool *par.Pool) *TriangleIndex {
 	n := g.NumVertices()
-	fwd := g.forwardAdjacency(workers)
+	fwd := g.forwardAdjacency(pool)
 	perVertex := make([][]Triangle, n)
-	scratch := make([][]int32, workers)
-	par.ForWorker(n, workers, func(w, vi int) {
+	scratch := make([][]int32, pool.Workers())
+	pool.ForWorker(n, func(w, vi int) {
 		var out []Triangle
 		scratch[w] = trianglesRootedAt(fwd, int32(vi), scratch[w], func(t Triangle) { out = append(out, t) })
 		perVertex[vi] = out
@@ -224,7 +245,7 @@ func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
 	// scans instead of one allocation per triangle.
 	ti.Comps = make([][]int32, len(ti.Tris))
 	counts := make([]int, len(ti.Tris)+1)
-	par.For(len(ti.Tris), workers, func(i int) {
+	pool.For(len(ti.Tris), func(i int) {
 		t := ti.Tris[i]
 		counts[i+1] = Intersect3SortedLen(g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
 	})
@@ -232,7 +253,7 @@ func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
 		counts[i+1] += counts[i]
 	}
 	flat := make([]int32, counts[len(ti.Tris)])
-	par.For(len(ti.Tris), workers, func(i int) {
+	pool.For(len(ti.Tris), func(i int) {
 		t := ti.Tris[i]
 		dst := flat[counts[i]:counts[i]:counts[i+1]]
 		ti.Comps[i] = Intersect3SortedInto(dst, g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
@@ -243,10 +264,92 @@ func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
 // Len returns the number of triangles.
 func (ti *TriangleIndex) Len() int { return len(ti.Tris) }
 
-// ID returns the id of triangle t and whether it exists.
+// ID returns the id of triangle t and whether it exists. Views translate
+// through their parent index, so no per-view hash map is ever built.
 func (ti *TriangleIndex) ID(t Triangle) (int32, bool) {
+	if ti.parent != nil {
+		pid, ok := ti.parent.ID(t)
+		if !ok {
+			return 0, false
+		}
+		id := ti.subID[pid]
+		return id, id >= 0
+	}
 	id, ok := ti.ids[t]
 	return id, ok
+}
+
+// SubIndexScratch holds the reusable buffers behind TriangleIndex.SubIndex.
+// One scratch serves one view at a time: building a new view on the same
+// scratch invalidates the previous one. Hot loops (per-candidate and
+// per-sampled-world restrictions) keep one scratch per worker so repeated
+// views allocate nothing once the buffers have grown to steady state.
+type SubIndexScratch struct {
+	view  TriangleIndex
+	pids  []int32
+	subID []int32
+	offs  []int32
+	flat  []int32
+	tris  []Triangle
+	comps [][]int32
+}
+
+// ParentIDs returns, for the view most recently built with this scratch, the
+// parent id of each view triangle (aligned with the view's dense ids). The
+// slice is valid until the next SubIndex call on the scratch.
+func (scr *SubIndexScratch) ParentIDs() []int32 { return scr.pids }
+
+// SubIndex returns the restriction of ti to the subgraph g: the triangles of
+// ti whose three edges all exist in g, with dense view ids assigned in
+// parent-id order, and completion lists filtered to the completions whose
+// 4-clique survives in g. g must be an edge-subgraph of the graph ti indexes,
+// over the same vertex-id space — then the view's triangles and 4-cliques are
+// exactly those NewTriangleIndex(g) would enumerate (in a different id
+// order), at the cost of a filtering scan instead of a fresh enumeration,
+// hash map, and degeneracy ordering.
+//
+// The view lives in scr and is valid until the next SubIndex call on the
+// same scratch. Views stack: restricting a view (e.g. a per-candidate view
+// of the full index refined per sampled world) chains id translation through
+// each level.
+func (ti *TriangleIndex) SubIndex(g *Graph, scr *SubIndexScratch) *TriangleIndex {
+	n := ti.Len()
+	if cap(scr.subID) < n {
+		scr.subID = make([]int32, n)
+	}
+	subID := scr.subID[:n]
+	pids, tris := scr.pids[:0], scr.tris[:0]
+	for t := 0; t < n; t++ {
+		tri := ti.Tris[t]
+		if g.HasEdge(tri.A, tri.B) && g.HasEdge(tri.A, tri.C) && g.HasEdge(tri.B, tri.C) {
+			subID[t] = int32(len(pids))
+			pids = append(pids, int32(t))
+			tris = append(tris, tri)
+		} else {
+			subID[t] = -1
+		}
+	}
+	// A completion z survives iff its three edges to the triangle exist in g
+	// (the triangle's own edges are already known present) — equivalently,
+	// iff all four triangles of the 4-clique survive. Entries keep the
+	// parent's ascending order, so views satisfy the sorted-Comps contract.
+	flat, offs := scr.flat[:0], append(scr.offs[:0], 0)
+	for _, pt := range pids {
+		tri := ti.Tris[pt]
+		for _, z := range ti.Comps[pt] {
+			if g.HasEdge(tri.A, z) && g.HasEdge(tri.B, z) && g.HasEdge(tri.C, z) {
+				flat = append(flat, z)
+			}
+		}
+		offs = append(offs, int32(len(flat)))
+	}
+	comps := scr.comps[:0]
+	for i := range pids {
+		comps = append(comps, flat[offs[i]:offs[i+1]:offs[i+1]])
+	}
+	scr.pids, scr.subID, scr.offs, scr.flat, scr.tris, scr.comps = pids, subID, offs, flat, tris, comps
+	scr.view = TriangleIndex{Tris: tris, Comps: comps, parent: ti, subID: subID}
+	return &scr.view
 }
 
 // CliqueCount returns the total number of 4-cliques in the indexed graph.

@@ -17,8 +17,6 @@ package mc
 import (
 	"math"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"probnucleus/internal/graph"
 	"probnucleus/internal/par"
@@ -109,7 +107,29 @@ func ForEachWorld(pg *probgraph.Graph, n, workers int, seed int64, fn func(worke
 		return
 	}
 	chunks := (n + WorldChunk - 1) / WorldChunk
-	runChunk := func(worker, c int) {
+	if workers > chunks {
+		workers = chunks
+	}
+	par.ForWorker(chunks, workers, worldChunkRunner(pg, n, seed, fn))
+}
+
+// ForEachWorldPool is ForEachWorld on a caller-owned worker pool: worker ids
+// span [0, pool.Workers()) and no goroutines are spawned or torn down per
+// call — the pool's parked helpers are reused, which matters when a
+// decomposition validates many small candidates in sequence. The worlds are
+// the same as ForEachWorld's for every pool size.
+func ForEachWorldPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64, fn func(worker, i int, w *graph.Graph)) {
+	if n <= 0 {
+		return
+	}
+	chunks := (n + WorldChunk - 1) / WorldChunk
+	pool.ForWorker(chunks, worldChunkRunner(pg, n, seed, fn))
+}
+
+// worldChunkRunner adapts per-chunk world generation to a parallel-for body:
+// chunk c draws its WorldChunk worlds from the PRNG seeded DeriveSeed(seed, c).
+func worldChunkRunner(pg *probgraph.Graph, n int, seed int64, fn func(worker, i int, w *graph.Graph)) func(worker, c int) {
+	return func(worker, c int) {
 		rng := rand.New(rand.NewSource(DeriveSeed(seed, c)))
 		lo := c * WorldChunk
 		hi := lo + WorldChunk
@@ -120,29 +140,4 @@ func ForEachWorld(pg *probgraph.Graph, n, workers int, seed int64, fn func(worke
 			fn(worker, i, pg.SampleWorld(rng))
 		}
 	}
-	if workers == 1 || chunks == 1 {
-		for c := 0; c < chunks; c++ {
-			runChunk(0, c)
-		}
-		return
-	}
-	if workers > chunks {
-		workers = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				runChunk(worker, c)
-			}
-		}(w)
-	}
-	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"probnucleus/internal/graph"
+	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
 
@@ -106,6 +107,31 @@ func TestForEachWorldVisitsEveryIndexOnce(t *testing.T) {
 				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
 			}
 		}
+	}
+}
+
+// TestForEachWorldPoolMatchesForEachWorld: running the sampler on a
+// caller-owned pool must produce the same worlds at the same indices as the
+// per-call path, for every pool size, including across repeated batches on
+// one pool (the shared-pool server pattern).
+func TestForEachWorldPoolMatchesForEachWorld(t *testing.T) {
+	pg := randomishProbGraph(24)
+	const n = 150
+	base := ParallelWorlds(pg, n, 1, 42)
+	for _, w := range diffWorkerCounts {
+		pool := par.NewPool(w)
+		for round := 0; round < 3; round++ {
+			got := make([]*graph.Graph, n)
+			ForEachWorldPool(pool, pg, n, 42, func(_, i int, world *graph.Graph) {
+				got[i] = world
+			})
+			for i := range got {
+				if got[i] == nil || !worldsEqual(got[i], base[i]) {
+					t.Fatalf("pool=%d round %d: world %d differs from serial", w, round, i)
+				}
+			}
+		}
+		pool.Close()
 	}
 }
 

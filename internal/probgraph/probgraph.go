@@ -22,10 +22,25 @@ type ProbEdge struct {
 }
 
 // Graph is an immutable probabilistic graph. The structure is a CSR graph
-// (see package graph) with a parallel per-directed-edge probability array.
+// (see package graph) with a parallel per-directed-edge probability array and
+// a cached canonical edge list, so the sampling and subgraph hot paths never
+// re-derive the edges from the adjacency structure.
 type Graph struct {
-	G    *graph.Graph
-	prob []float64 // parallel to the CSR adjacency array
+	G     *graph.Graph
+	prob  []float64  // parallel to the CSR adjacency array
+	edges []ProbEdge // canonical U < V, sorted by (U, V)
+}
+
+// fillEdgeCache derives the canonical edge list from the CSR structure.
+func (pg *Graph) fillEdgeCache() {
+	pg.edges = make([]ProbEdge, 0, pg.G.NumEdges())
+	for u := int32(0); int(u) < pg.G.NumVertices(); u++ {
+		for _, v := range pg.G.Neighbors(u) {
+			if u < v {
+				pg.edges = append(pg.edges, ProbEdge{U: u, V: v, P: pg.prob[pg.G.AdjIndex(u, v)]})
+			}
+		}
+	}
 }
 
 // New builds a probabilistic graph from edges. Duplicate edges, self-loops,
@@ -49,6 +64,7 @@ func New(n int, edges []ProbEdge) (*Graph, error) {
 			pg.prob[g.AdjIndex(u, v)] = probs[graph.Edge{U: u, V: v}.Canon()]
 		}
 	}
+	pg.fillEdgeCache()
 	return pg, nil
 }
 
@@ -80,15 +96,10 @@ func (pg *Graph) Prob(u, v int32) float64 {
 // G.AdjIndex). It avoids the binary search when the index is already known.
 func (pg *Graph) ProbAt(idx int) float64 { return pg.prob[idx] }
 
-// Edges returns all undirected edges with probabilities, U < V.
-func (pg *Graph) Edges() []ProbEdge {
-	es := pg.G.Edges()
-	out := make([]ProbEdge, len(es))
-	for i, e := range es {
-		out[i] = ProbEdge{U: e.U, V: e.V, P: pg.prob[pg.G.AdjIndex(e.U, e.V)]}
-	}
-	return out
-}
+// Edges returns all undirected edges with probabilities, canonical U < V and
+// sorted by (U, V). The returned slice aliases the graph's cached edge list
+// and must not be modified.
+func (pg *Graph) Edges() []ProbEdge { return pg.edges }
 
 // AvgProb returns the mean edge probability, or 0 for an edgeless graph.
 func (pg *Graph) AvgProb() float64 {
@@ -125,33 +136,88 @@ func (pg *Graph) WorldProb(w *graph.Graph) float64 {
 	return p
 }
 
-// SampleWorld draws one possible world: each edge is kept independently
-// with its probability, using rng.
+// SampleWorld draws one possible world: each edge is kept independently with
+// its probability, using rng. Edges are examined in canonical (U, V) order —
+// part of the determinism contract, since a world's content is a function of
+// the rng stream alone — and the world is assembled CSR-directly (count,
+// prefix-sum, fill), without the Builder's hash map: processing edges in
+// (U, V) order appends every vertex's back-neighbours (from edges where it
+// is V) before its forward ones, each run ascending, so adjacency comes out
+// sorted for free.
 func (pg *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(pg.NumVertices())
-	for _, e := range pg.Edges() {
+	kept := make([]graph.Edge, 0, len(pg.edges))
+	for _, e := range pg.edges {
 		if rng.Float64() < e.P {
-			_ = b.AddEdge(e.U, e.V)
+			kept = append(kept, graph.Edge{U: e.U, V: e.V})
 		}
 	}
-	return b.Build()
+	offs, adj, _ := csrFromSortedEdges(pg.NumVertices(), kept, nil)
+	return graph.FromCSR(offs, adj)
+}
+
+// csrFromSortedEdges lays out canonical (U, V)-sorted edges as CSR adjacency.
+// When probs is non-nil it is filled per directed edge from the per-edge
+// values in ps (parallel to es).
+func csrFromSortedEdges(n int, es []graph.Edge, ps []float64) (offs, adj []int32, probs []float64) {
+	offs = make([]int32, n+1)
+	for _, e := range es {
+		offs[e.U+1]++
+		offs[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	adj = make([]int32, 2*len(es))
+	if ps != nil {
+		probs = make([]float64, 2*len(es))
+	}
+	fill := make([]int32, n)
+	for i, e := range es {
+		pu, pv := offs[e.U]+fill[e.U], offs[e.V]+fill[e.V]
+		adj[pu], adj[pv] = e.V, e.U
+		if ps != nil {
+			probs[pu], probs[pv] = ps[i], ps[i]
+		}
+		fill[e.U]++
+		fill[e.V]++
+	}
+	return offs, adj, probs
+}
+
+// SubgraphOfEdges returns the probabilistic subgraph over the same vertex-id
+// space containing exactly the given edges, which must be canonical (U < V),
+// sorted by (U, V), duplicate-free, and present in pg (it panics on an edge
+// pg does not have). It is the allocation-lean counterpart of EdgeSubgraph
+// for callers that already hold the subgraph's edge list — probabilities are
+// looked up by binary search in pg's adjacency and the CSR structure is
+// assembled directly, skipping the full-graph scan and the Builder hash map.
+func (pg *Graph) SubgraphOfEdges(es []graph.Edge) *Graph {
+	sub := &Graph{edges: make([]ProbEdge, len(es))}
+	ps := make([]float64, len(es))
+	for i, e := range es {
+		p := pg.Prob(e.U, e.V)
+		if p == 0 {
+			panic(fmt.Sprintf("probgraph: edge (%d,%d) not in graph", e.U, e.V))
+		}
+		ps[i] = p
+		sub.edges[i] = ProbEdge{U: e.U, V: e.V, P: p}
+	}
+	offs, adj, probs := csrFromSortedEdges(pg.NumVertices(), es, ps)
+	sub.G = graph.FromCSR(offs, adj)
+	sub.prob = probs
+	return sub
 }
 
 // EdgeSubgraph returns the probabilistic subgraph containing exactly the
 // edges for which keep reports true (same vertex-id space).
 func (pg *Graph) EdgeSubgraph(keep func(u, v int32) bool) *Graph {
-	var es []ProbEdge
-	for _, e := range pg.Edges() {
+	var es []graph.Edge
+	for _, e := range pg.edges {
 		if keep(e.U, e.V) {
-			es = append(es, e)
+			es = append(es, graph.Edge{U: e.U, V: e.V})
 		}
 	}
-	sub, err := New(pg.NumVertices(), es)
-	if err != nil {
-		// Cannot happen: edges come from a valid graph.
-		panic(err)
-	}
-	return sub
+	return pg.SubgraphOfEdges(es)
 }
 
 // VertexSubgraph returns the probabilistic subgraph induced by the given

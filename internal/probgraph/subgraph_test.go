@@ -1,0 +1,120 @@
+package probgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+func randomProbGraph(rng *rand.Rand, n int, density float64) *Graph {
+	var es []ProbEdge
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if rng.Float64() < density {
+				es = append(es, ProbEdge{U: u, V: v, P: 0.05 + 0.9*rng.Float64()})
+			}
+		}
+	}
+	return MustNew(n, es)
+}
+
+// TestSubgraphOfEdgesMatchesEdgeSubgraph: the direct CSR construction from a
+// sorted edge list must produce the same subgraph (structure, probabilities,
+// cached edge list) as the predicate-based path.
+func TestSubgraphOfEdgesMatchesEdgeSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		pg := randomProbGraph(rng, 15, 0.4)
+		keepSet := make(map[graph.Edge]bool)
+		var kept []graph.Edge
+		for _, e := range pg.Edges() { // already sorted by (U, V)
+			if rng.Float64() < 0.6 {
+				ed := graph.Edge{U: e.U, V: e.V}
+				keepSet[ed] = true
+				kept = append(kept, ed)
+			}
+		}
+		want := pg.EdgeSubgraph(func(u, v int32) bool {
+			return keepSet[graph.Edge{U: u, V: v}.Canon()]
+		})
+		got := pg.SubgraphOfEdges(kept)
+		if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("trial %d: got %d vertices / %d edges, want %d / %d",
+				trial, got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+		}
+		for v := int32(0); int(v) < want.NumVertices(); v++ {
+			gn, wn := got.G.Neighbors(v), want.G.Neighbors(v)
+			if len(gn) != len(wn) {
+				t.Fatalf("trial %d: vertex %d has %v neighbors, want %v", trial, v, gn, wn)
+			}
+			for i := range gn {
+				if gn[i] != wn[i] {
+					t.Fatalf("trial %d: vertex %d adjacency %v != %v (sortedness broken?)", trial, v, gn, wn)
+				}
+				if got.Prob(v, gn[i]) != want.Prob(v, wn[i]) {
+					t.Fatalf("trial %d: Prob(%d,%d) = %v, want %v",
+						trial, v, gn[i], got.Prob(v, gn[i]), want.Prob(v, wn[i]))
+				}
+			}
+		}
+		ge, we := got.Edges(), want.Edges()
+		if len(ge) != len(we) {
+			t.Fatalf("trial %d: cached edges %d != %d", trial, len(ge), len(we))
+		}
+		for i := range ge {
+			if ge[i] != we[i] {
+				t.Fatalf("trial %d: cached edge %d is %+v, want %+v", trial, i, ge[i], we[i])
+			}
+		}
+	}
+}
+
+func TestSubgraphOfEdgesPanicsOnForeignEdge(t *testing.T) {
+	pg := MustNew(3, []ProbEdge{{U: 0, V: 1, P: 0.5}})
+	defer func() {
+		if recover() == nil {
+			t.Error("SubgraphOfEdges accepted an edge pg does not have")
+		}
+	}()
+	pg.SubgraphOfEdges([]graph.Edge{{U: 1, V: 2}})
+}
+
+// TestSampleWorldStreamContract: a world's content is a fixed function of
+// the rng stream — edge i of the canonical (U, V)-ordered edge list consumes
+// the i-th variate and is kept iff it falls below the edge's probability.
+// The global/weak Monte-Carlo estimates (and the recorded golden outputs)
+// depend on this exact consumption order, so it must never drift.
+func TestSampleWorldStreamContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		pg := randomProbGraph(rng, 12, 0.5)
+		seed := rng.Int63()
+		world := pg.SampleWorld(rand.New(rand.NewSource(seed)))
+		replay := rand.New(rand.NewSource(seed))
+		wantEdges := 0
+		for _, e := range pg.Edges() {
+			want := replay.Float64() < e.P
+			if world.HasEdge(e.U, e.V) != want {
+				t.Fatalf("trial %d: edge (%d,%d) kept=%v, stream says %v",
+					trial, e.U, e.V, world.HasEdge(e.U, e.V), want)
+			}
+			if want {
+				wantEdges++
+			}
+		}
+		if world.NumEdges() != wantEdges {
+			t.Fatalf("trial %d: world has %d edges, want %d", trial, world.NumEdges(), wantEdges)
+		}
+		// The CSR-direct world must have sorted adjacency (the Graph
+		// invariant FromCSR trusts the sampler to uphold).
+		for v := int32(0); int(v) < world.NumVertices(); v++ {
+			ns := world.Neighbors(v)
+			for i := 1; i < len(ns); i++ {
+				if ns[i-1] >= ns[i] {
+					t.Fatalf("trial %d: vertex %d adjacency not sorted: %v", trial, v, ns)
+				}
+			}
+		}
+	}
+}

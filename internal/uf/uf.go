@@ -19,6 +19,23 @@ func New(n int) *UF {
 	return u
 }
 
+// Reset reinitialises u to n singleton sets, growing storage only when
+// needed. It lets hot loops (per-sampled-world connectivity checks) reuse one
+// UF across rounds instead of allocating a fresh forest each time; the zero
+// value of UF is ready for Reset.
+func (u *UF) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.size = make([]int32, n)
+	}
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+}
+
 // Find returns the representative of x's set.
 func (u *UF) Find(x int32) int32 {
 	for u.parent[x] != x {
@@ -50,19 +67,26 @@ func (u *UF) SetSize(x int32) int { return int(u.size[u.Find(x)]) }
 
 // Groups returns the members of every set with at least minSize elements,
 // restricted to ids for which include returns true (include == nil keeps
-// all).
+// all). Each group's members are ascending, and groups are ordered by their
+// smallest member — a deterministic order, so downstream sorts with
+// tie-prone keys (e.g. nuclei of equal size sharing their first vertex)
+// stay reproducible across runs.
 func (u *UF) Groups(minSize int, include func(int32) bool) [][]int32 {
 	byRoot := make(map[int32][]int32)
+	var order []int32 // roots in order of first (smallest) included member
 	for i := int32(0); int(i) < len(u.parent); i++ {
 		if include != nil && !include(i) {
 			continue
 		}
 		r := u.Find(i)
+		if _, seen := byRoot[r]; !seen {
+			order = append(order, r)
+		}
 		byRoot[r] = append(byRoot[r], i)
 	}
 	var out [][]int32
-	for _, g := range byRoot {
-		if len(g) >= minSize {
+	for _, r := range order {
+		if g := byRoot[r]; len(g) >= minSize {
 			out = append(out, g)
 		}
 	}

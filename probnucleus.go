@@ -132,6 +132,18 @@ func WeaklyGlobalNuclei(pg *Graph, k int, theta float64, opts MCOptions) ([]Prob
 // an (ε,δ) estimate (Lemma 4).
 func HoeffdingSampleSize(eps, delta float64) int { return mc.SampleSize(eps, delta) }
 
+// Decomposer bundles LocalDecompose, GlobalNuclei, and WeaklyGlobalNuclei
+// around one persistent worker pool: repeated decompositions reuse the same
+// parked goroutine team across the local pruning phase, possible-world
+// sampling, and candidate validation, instead of spawning and tearing down a
+// pool per call. Results are identical to the package-level functions. A
+// Decomposer serves one goroutine at a time; call Close when done.
+type Decomposer = core.Decomposer
+
+// NewDecomposer creates a Decomposer with the given worker count (0 = all
+// cores, 1 = fully serial).
+func NewDecomposer(workers int) *Decomposer { return core.NewDecomposer(workers) }
+
 // World is one sampled possible world: a deterministic graph over the same
 // vertex-id space as the probabilistic graph it was drawn from.
 type World = graph.Graph

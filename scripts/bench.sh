@@ -1,22 +1,29 @@
 #!/usr/bin/env sh
-# Runs the local-decomposition benchmarks with -benchmem and writes
-# BENCH_local.json, comparing the run against the recorded pre-incremental
-# baseline (commit ae2043f, before the Poisson-binomial support maintenance
-# became incremental and the peeling hot path allocation-free).
+# Runs the decomposition benchmarks with -benchmem and writes
+# BENCH_local.json, comparing the run against the recorded pre-optimization
+# baselines:
+#
+#   - BenchmarkFig4LocalDP rows: commit ae2043f, before the Poisson-binomial
+#     support maintenance became incremental and the peeling hot path
+#     allocation-free (PR 2).
+#   - BenchmarkGlobal / BenchmarkWeak rows: commit d85b5fb, before the
+#     global/weak candidate pipeline moved to arena growth, shared
+#     triangle-index views, and the persistent shared pool (PR 3).
 #
 # Usage:
-#   scripts/bench.sh                     # full Fig4 corpus
-#   BENCHTIME=1x BENCH_PATTERN='BenchmarkFig4LocalDP/(krogan|dblp)' scripts/bench.sh
+#   scripts/bench.sh                     # full corpus
+#   BENCHTIME=1x BENCH_PATTERN='^BenchmarkWeak$' scripts/bench.sh
 #
 # Environment:
-#   BENCH_PATTERN  go test -bench regexp   (default BenchmarkFig4LocalDP)
+#   BENCH_PATTERN  go test -bench regexp
+#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak)$')
 #   BENCHTIME      go test -benchtime      (default 3x)
 #   BENCH_OUT      output JSON path        (default BENCH_local.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-BenchmarkFig4LocalDP}"
+pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak)\$}"
 benchtime="${BENCHTIME:-3x}"
 out="${BENCH_OUT:-BENCH_local.json}"
 
@@ -24,10 +31,10 @@ txt="$(mktemp)"
 base="$(mktemp)"
 trap 'rm -f "$txt" "$base"' EXIT
 
-# Pre-PR baseline: BenchmarkFig4LocalDP at commit ae2043f on the reference
-# runner (Intel Xeon @ 2.10GHz), -benchmem. ns/op from multi-iteration runs;
-# allocs/op and B/op are deterministic.
-cat > "$base" <<'EOF'
+# Baselines on the reference runner (Intel Xeon @ 2.10GHz), -benchmem.
+# ns/op from multi-iteration runs; allocs/op and B/op are deterministic.
+# Columns: name ns/op B/op allocs/op
+cat > "$base" <<'BASE'
 BenchmarkFig4LocalDP/krogan/theta=0.1 18806230 6312152 72626
 BenchmarkFig4LocalDP/krogan/theta=0.4 20549524 5133920 66983
 BenchmarkFig4LocalDP/dblp/theta=0.1 238127093 64433220 580544
@@ -40,7 +47,11 @@ BenchmarkFig4LocalDP/biomine/theta=0.1 924832107 232489888 1521332
 BenchmarkFig4LocalDP/biomine/theta=0.4 1073464984 220290472 1648891
 BenchmarkFig4LocalDP/ljournal/theta=0.1 586488262 113521992 1234722
 BenchmarkFig4LocalDP/ljournal/theta=0.4 412014880 68927416 877389
-EOF
+BenchmarkGlobal/krogan 2817751819 1711151210 10240197
+BenchmarkGlobal/dblp 24640207609 20229688784 45148847
+BenchmarkWeak/krogan 98074541 25033717 91291
+BenchmarkWeak/dblp 444914894 111093912 185858
+BASE
 
 echo "==> go test -bench $pattern -benchmem -benchtime $benchtime"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$txt"
@@ -67,10 +78,10 @@ BEGIN {
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkFig4LocalDP\",\n"
+    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"baseline_commit\": \"ae2043f\",\n"
-    printf "  \"baseline_note\": \"pre-incremental scorer: from-scratch DP per support query, map-based CliqueAdj\",\n"
+    printf "  \"baseline_commit\": \"ae2043f (local rows) / d85b5fb (global+weak rows)\",\n"
+    printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-arena candidate pipeline (map-based closure growth, per-world TriangleIndex rebuilds, per-call pools)\",\n"
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -84,7 +95,10 @@ END {
             printf "      \"baseline_ns_per_op\": %s,\n", bns[name]
             printf "      \"baseline_bytes_per_op\": %s,\n", bb[name]
             printf "      \"baseline_allocs_per_op\": %s,\n", ba[name]
-            printf "      \"speedup\": %.2f,\n", bns[name] / cns[name]
+            # Single-iteration runs (CI short mode) have meaningless timings;
+            # only the deterministic allocation columns carry a claim there.
+            if (benchtime != "1x")
+                printf "      \"speedup\": %.2f,\n", bns[name] / cns[name]
             printf "      \"allocs_reduction\": %.1f\n", ba[name] / ca[name]
         } else {
             printf "\n"

@@ -8,9 +8,10 @@
 # pools at 1/2/8 workers, so `go test -race` drives every concurrent path.
 #
 # It finishes with scripts/bench.sh in short mode (1 benchmark iteration) so
-# every CI run refreshes BENCH_local.json's allocs/op numbers — which are
-# deterministic and therefore catch allocation regressions even at
-# -benchtime 1x. Set CI_BENCH=0 to skip.
+# every CI run refreshes BENCH_local.json's allocs/op numbers — for the local
+# peeling benchmarks and for the global/weak candidate pipeline
+# (BenchmarkGlobal/BenchmarkWeak) — which are deterministic and therefore
+# catch allocation regressions even at -benchtime 1x. Set CI_BENCH=0 to skip.
 #
 # Usage: scripts/ci.sh [package-pattern]   (default ./...)
 set -eu
