@@ -133,7 +133,7 @@ func BenchmarkFig5WeaklyGlobal(b *testing.B) {
 // pre-refactor baseline in BENCH_local.json.
 
 func benchGlobalWeak(b *testing.B, run func(g *pn.Graph, opts pn.MCOptions) error) {
-	for _, name := range []string{"krogan", "dblp"} {
+	for _, name := range []string{"krogan", "dblp", "flickr"} {
 		g := benchGraph(name, 0.04)
 		local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
 		if err != nil {

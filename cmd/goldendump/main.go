@@ -1,12 +1,23 @@
-// Command goldendump prints a canonical text rendering of the global and
-// weakly-global decompositions on the fixture corpus. It exists to snapshot
-// the pre-refactor outputs so the arena refactor can be proven
-// behavior-preserving; the snapshot lives in internal/core/golden_test.go.
+// Command goldendump renders the global and weakly-global decompositions on
+// the fixture corpus in the canonical text format pinned by
+// internal/core/golden_test.go, and either regenerates the golden snapshot
+// or verifies the current outputs against it:
+//
+//	go run ./cmd/goldendump            # rewrite the golden file
+//	go run ./cmd/goldendump -check     # verify, exit 1 on divergence
+//	go run ./cmd/goldendump -stdout    # print the dump without touching disk
+//
+// The snapshot exists to prove behavior-preserving refactors byte-identical;
+// regenerate it only on an intentional semantic change (such as the
+// shared-world sampling engine, which deliberately moved every candidate
+// onto one PRNG stream).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"probnucleus/internal/core"
 	"probnucleus/internal/dataset"
@@ -23,7 +34,7 @@ func render(ns []core.ProbNucleus) string {
 	return s
 }
 
-func main() {
+func dump() (string, error) {
 	graphs := map[string]*probgraph.Graph{
 		"fig1":   fixtures.Fig1(),
 		"k5":     fixtures.Fig3cK5(),
@@ -42,20 +53,69 @@ func main() {
 		{"k5", 2, 0.01, 400, 7},
 		{"krogan", 1, 0.001, 100, 1},
 	}
+	var out strings.Builder
 	for _, c := range cases {
 		pg := graphs[c.name]
 		opts := core.MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1}
 		g, err := core.GlobalNuclei(pg, c.k, c.theta, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return "", err
 		}
-		fmt.Printf("=== global/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(g))
+		fmt.Fprintf(&out, "=== global/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(g))
 		w, err := core.WeaklyGlobalNuclei(pg, c.k, c.theta, opts)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&out, "=== weak/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(w))
+	}
+	return out.String(), nil
+}
+
+func main() {
+	golden := flag.String("golden", "internal/core/testdata/global_weak_golden.txt", "golden snapshot path")
+	check := flag.Bool("check", false, "verify the golden file instead of regenerating it")
+	stdout := flag.Bool("stdout", false, "print the dump to stdout without touching the golden file")
+	flag.Parse()
+
+	got, err := dump()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case *stdout:
+		fmt.Print(got)
+	case *check:
+		raw, err := os.ReadFile(*golden)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== weak/%s/k=%d/theta=%g\n%s", c.name, c.k, c.theta, render(w))
+		if got != string(raw) {
+			gotLines := strings.Split(got, "\n")
+			wantLines := strings.Split(string(raw), "\n")
+			for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+				var g, w string
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if g != w {
+					fmt.Fprintf(os.Stderr, "goldendump: divergence at %s:%d\n got: %s\nwant: %s\n", *golden, i+1, g, w)
+					os.Exit(1)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "goldendump: output differs from %s\n", *golden)
+			os.Exit(1)
+		}
+		fmt.Printf("goldendump: %s is up to date\n", *golden)
+	default:
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("goldendump: wrote %s\n", *golden)
 	}
 }

@@ -4,7 +4,10 @@ import (
 	"testing"
 
 	"probnucleus/internal/dataset"
+	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
+	"probnucleus/internal/mc"
+	"probnucleus/internal/par"
 )
 
 // arenaFixture builds a candidate space plus warmed scratch over the krogan
@@ -87,6 +90,103 @@ func TestTriSetDedupSemantics(t *testing.T) {
 		if d.insert(dup) {
 			t.Fatalf("set %d %v accepted twice", i, dup)
 		}
+	}
+}
+
+// TestSharedWorldGlobalValidationAllocationFree: validating one more
+// candidate against the shared world stream — index restriction, per-world
+// predicate checks, count accumulation, and the min-tail reduction — must
+// not allocate once the estimator's scratch has reached steady state. This
+// is the allocation contract of the shared-world engine: the only per-call
+// allocations are the union worlds themselves, sampled once.
+func TestSharedWorldGlobalValidationAllocationFree(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.08)))
+	local, err := LocalDecompose(pg, 0.1, Options{Mode: ModeDP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCandidateSpace(local, 1)
+	if len(cs.triangles) < 4 {
+		t.Fatalf("fixture too small: %d candidate triangles", len(cs.triangles))
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	union := appendTriangleEdges(nil, cs.ti, cs.triangles)
+	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), 16, 1)
+	est := newGlobalEstimator(pool, union, masks, words, 16)
+	var hs []*graph.Graph
+	var ess [][]graph.Edge
+	var seen triSetDedup
+	for _, seed := range cs.triangles {
+		closure := cs.closure(seed, 1)
+		if !seen.insert(closure) {
+			continue
+		}
+		edges := appendTriangleEdges(nil, cs.ti, closure)
+		ess = append(ess, edges)
+		hs = append(hs, graph.FromSortedEdges(pg.NumVertices(), edges))
+	}
+	for i, h := range hs { // warm every scratch buffer
+		est.estimate(h, ess[i], cs.ti, 1, 0.001)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		j := i % len(hs)
+		est.estimate(hs[j], ess[j], cs.ti, 1, 0.001)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("shared-world candidate validation allocates %v per candidate, want 0", allocs)
+	}
+}
+
+// TestSharedWorldWeakScoringAllocationFree: the weak-path steady state —
+// rebinding the peel seed to the next candidate and running the incremental
+// per-world loss cascade over the shared worlds — must not allocate either,
+// across candidates of different sizes.
+func TestSharedWorldWeakScoringAllocationFree(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.08)))
+	local, err := LocalDecompose(pg, 0.1, Options{Mode: ModeDP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := local.NucleiForK(1)
+	if len(cands) < 2 {
+		t.Fatalf("fixture too small: %d candidates", len(cands))
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	union := unionEdges(cands)
+	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), 16, 1)
+	hs := make([]*graph.Graph, len(cands))
+	for i, cand := range cands {
+		hs[i] = graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
+	}
+	var sub graph.SubIndexScratch
+	var seed decomp.WorldPeelSeed
+	var scorer decomp.WorldMembershipScorer
+	var losses []int32
+	scoreCand := func(i int) {
+		hti := local.TI.SubIndex(hs[i], &sub)
+		seed.Seed(hti, cands[i].Edges, 1)
+		seed.MapUnion(union)
+		losses = resizeCleared(losses, hti.Len())
+		for w := 0; w < 16; w++ {
+			for _, id := range scorer.NonQualifyingMask(&seed, masks[w*words:(w+1)*words]) {
+				losses[id]++
+			}
+		}
+	}
+	for i := range cands { // warm every scratch buffer
+		scoreCand(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		scoreCand(i % len(cands))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("shared-world weak scoring allocates %v per candidate, want 0", allocs)
 	}
 }
 

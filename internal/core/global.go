@@ -75,8 +75,20 @@ type ProbNucleus struct {
 
 // GlobalNuclei implements Algorithm 2: it finds the g-(k,θ)-nuclei of pg.
 // Candidates are grown inside the union C of ℓ-(k,θ)-nuclei as 4-clique
-// closures seeded at each triangle of C, then validated by sampling n
-// possible worlds and requiring Pr̂(X_{H,△,g} ≥ k) ≥ θ for every triangle.
+// closures seeded at each triangle of C, then validated against a shared
+// Monte-Carlo world stream, requiring Pr̂(X_{H,△,g} ≥ k) ≥ θ for every
+// triangle.
+//
+// The n possible worlds are sampled once per call over the edge set of the
+// whole candidate space C and shared by every candidate: world i is
+// restricted to each candidate through a stackable view of the parent
+// triangle index, so overlapping candidates — the common case, since
+// closures grow from every seed triangle of C — never pay for resampling.
+// Per candidate the marginal world distribution is unchanged (edges are
+// kept independently with their probabilities either way), so each estimate
+// keeps its (ε,δ) guarantee; only the PRNG stream assignment differs from
+// the per-candidate sampler, which is why the golden snapshot was
+// deliberately regenerated when the shared stream landed.
 //
 // The per-seed pipeline is allocation-lean: candidate growth runs on stamp
 // arrays over a CSR clique layout, candidate subgraphs are assembled from a
@@ -99,11 +111,19 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 			return nil, err
 		}
 	}
-	n := opts.sampleCount()
 
 	// C: union of ℓ-(k,θ)-nuclei, with its level-k clique structure.
 	cand := newCandidateSpace(local, k)
-	est := newGlobalEstimator(pool)
+	if len(cand.triangles) == 0 {
+		return nil, nil
+	}
+	// One shared world stream over the union of all candidate edges (every
+	// candidate is a subgraph of it), sampled as one flat bank of edge
+	// bitmasks.
+	union := appendTriangleEdges(nil, cand.ti, cand.triangles)
+	n := opts.sampleCount()
+	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+	est := newGlobalEstimator(pool, union, masks, words, n)
 	var out []ProbNucleus
 	var seen triSetDedup
 	var edges []graph.Edge
@@ -113,8 +133,8 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 			continue
 		}
 		edges = appendTriangleEdges(edges[:0], cand.ti, closure)
-		h := pg.SubgraphOfEdges(edges)
-		minProb, ok := est.estimate(h, cand.ti, k, theta, n, opts.Seed)
+		h := graph.FromSortedEdges(pg.NumVertices(), edges)
+		minProb, ok := est.estimate(h, edges, cand.ti, k, theta)
 		if !ok {
 			continue
 		}
@@ -338,42 +358,52 @@ func (d *triSetDedup) insert(ids []int32) bool {
 }
 
 // globalEstimator holds the per-candidate Monte-Carlo validation state of
-// Algorithm 2: one WorldChecker and count slice per pool worker, the
-// candidate's vertex list, and the scratch behind the candidate's index
-// view. All of it is reused across candidates.
+// Algorithm 2: the shared world-mask bank, one WorldChecker and count slice
+// per pool worker, the candidate's world-check seed and vertex list, the
+// scratch behind the candidate's index view, and the min-tail reduction
+// scratch. All of it is reused across candidates, so validating one more
+// candidate allocates nothing at steady state.
 type globalEstimator struct {
 	pool     *par.Pool
+	union    []graph.Edge
+	masks    []uint64
+	words    int
+	n        int
 	checkers []decomp.WorldChecker
 	counts   [][]int32
 	verts    []int32
 	sub      graph.SubIndexScratch
+	seed     decomp.WorldCheckSeed
+	// Min-tail reduction scratch: per-range minimum, first failing triangle
+	// id (-1 when the range passes), and its estimate.
+	partMin []float64
+	failIdx []int32
+	failP   []float64
+	// Per-call parameters consumed by the hoisted pool closures (one closure
+	// per estimator, not one per candidate — keeping the per-candidate
+	// steady state allocation-free).
+	theta   float64
+	m       int
+	worldFn func(worker, i int)
+	tailFn  func(worker, r int)
 }
 
-func newGlobalEstimator(pool *par.Pool) *globalEstimator {
-	return &globalEstimator{
+func newGlobalEstimator(pool *par.Pool, union []graph.Edge, masks []uint64, words, n int) *globalEstimator {
+	w := pool.Workers()
+	ge := &globalEstimator{
 		pool:     pool,
-		checkers: make([]decomp.WorldChecker, pool.Workers()),
-		counts:   make([][]int32, pool.Workers()),
+		union:    union,
+		masks:    masks,
+		words:    words,
+		n:        n,
+		checkers: make([]decomp.WorldChecker, w),
+		counts:   make([][]int32, w),
+		partMin:  make([]float64, w),
+		failIdx:  make([]int32, w),
+		failP:    make([]float64, w),
 	}
-}
-
-// estimate samples n worlds of h and estimates Pr(X_{H,△,g} ≥ k) for every
-// triangle of h; it reports the minimum estimate and whether all triangles
-// pass θ. h's triangles come from restricting the parent index (no
-// re-enumeration), and each world is checked and counted through a reusable
-// per-worker view of that restriction. Each worker counts into its own
-// per-triangle slice and the counts are summed afterwards, so the estimates
-// are exactly the serial ones for every worker count.
-func (ge *globalEstimator) estimate(h *probgraph.Graph, parent *graph.TriangleIndex, k int, theta float64, n int, seed int64) (float64, bool) {
-	hti := parent.SubIndex(h.G, &ge.sub)
-	m := hti.Len()
-	ge.verts = appendPositiveDegree(ge.verts[:0], h.G)
-	for w := range ge.counts {
-		ge.counts[w] = resizeCleared(ge.counts[w], m)
-		ge.checkers[w].Reset(hti)
-	}
-	mc.ForEachWorldPool(ge.pool, h, n, seed, func(worker, _ int, w *graph.Graph) {
-		ids, ok := ge.checkers[worker].QualifyingTriangles(w, ge.verts, k)
+	ge.worldFn = func(worker, i int) {
+		ids, ok := ge.checkers[worker].MaskQualifying(&ge.seed, ge.masks[i*ge.words:(i+1)*ge.words])
 		if !ok {
 			return
 		}
@@ -381,22 +411,102 @@ func (ge *globalEstimator) estimate(h *probgraph.Graph, parent *graph.TriangleIn
 		for _, id := range ids {
 			cnt[id]++
 		}
-	})
+	}
+	ge.tailFn = func(_, r int) {
+		workers := ge.pool.Workers()
+		lo, hi := r*ge.m/workers, (r+1)*ge.m/workers
+		min, fail, fp := 1.0, int32(-1), 0.0
+		for j := lo; j < hi; j++ {
+			p := ge.tailAt(j, ge.n)
+			if p < min {
+				min = p
+			}
+			if p < ge.theta {
+				fail, fp = int32(j), p
+				break
+			}
+		}
+		ge.partMin[r], ge.failIdx[r], ge.failP[r] = min, fail, fp
+	}
+	return ge
+}
+
+// estimate evaluates the candidate h against the shared world-mask bank and
+// estimates Pr(X_{H,△,g} ≥ k) for every triangle of h; it reports the
+// minimum estimate and whether all triangles pass θ. h's triangles come
+// from restricting the parent index (no re-enumeration); the candidate's
+// seed then pins their union edge ids once, and every shared world — a
+// world of the candidate union, of which h is a subgraph — is evaluated by
+// per-worker checkers with O(1) bit tests, connectivity walked over h's own
+// adjacency so union edges outside the candidate never connect it. Each
+// worker counts into its own per-triangle slice and the counts are summed
+// afterwards, so the estimates are exactly the serial ones for every worker
+// count.
+func (ge *globalEstimator) estimate(h *graph.Graph, edges []graph.Edge, parent *graph.TriangleIndex, k int, theta float64) (float64, bool) {
+	hti := parent.SubIndex(h, &ge.sub)
+	m := hti.Len()
+	ge.verts = appendPositiveDegree(ge.verts[:0], h)
+	ge.seed.Seed(hti, edges, ge.union, ge.verts, k)
+	for w := range ge.counts {
+		ge.counts[w] = resizeCleared(ge.counts[w], m)
+	}
+	ge.theta, ge.m = theta, m
+	ge.pool.ForWorker(ge.n, ge.worldFn)
+	return ge.minTail(m, theta)
+}
+
+// minTailParallelCutoff is the minimum number of candidate triangles for
+// which the per-triangle count reduction fans out to the worker pool; below
+// it the fan-out overhead outweighs the summing work.
+const minTailParallelCutoff = 2048
+
+// minTail sums the per-worker counts of every candidate triangle, divides by
+// the world count, and returns the smallest estimate plus whether all
+// triangles clear θ, exactly as a serial ascending scan with early exit
+// would: large candidates fan the scan out over fixed contiguous id ranges
+// (one per pool worker) and reduce the per-range results in range order, so
+// the returned (estimate, ok) pair — including which failing triangle's
+// estimate is reported — is byte-identical for every worker count.
+func (ge *globalEstimator) minTail(m int, theta float64) (float64, bool) {
+	n := ge.n
+	workers := ge.pool.Workers()
+	if workers == 1 || m < minTailParallelCutoff {
+		minProb := 1.0
+		for j := 0; j < m; j++ {
+			p := ge.tailAt(j, n)
+			if p < minProb {
+				minProb = p
+			}
+			if p < theta {
+				return p, false
+			}
+		}
+		return minProb, true
+	}
+	ge.pool.ForWorker(workers, ge.tailFn)
+	for r := 0; r < workers; r++ {
+		if ge.failIdx[r] >= 0 {
+			return ge.failP[r], false
+		}
+	}
 	minProb := 1.0
-	for j := 0; j < m; j++ {
-		total := int32(0)
-		for w := range ge.counts {
-			total += ge.counts[w][j]
-		}
-		p := float64(total) / float64(n)
-		if p < minProb {
-			minProb = p
-		}
-		if p < theta {
-			return p, false
+	for r := 0; r < workers; r++ {
+		if ge.partMin[r] < minProb {
+			minProb = ge.partMin[r]
 		}
 	}
 	return minProb, true
+}
+
+// tailAt sums triangle j's qualifying-world counts across workers (in worker
+// order, so the integer total is exact and order-independent) and returns
+// the Monte-Carlo estimate Pr̂(X ≥ k) = total/n.
+func (ge *globalEstimator) tailAt(j, n int) float64 {
+	total := int32(0)
+	for w := range ge.counts {
+		total += ge.counts[w][j]
+	}
+	return float64(total) / float64(n)
 }
 
 // resizeCleared returns s with length n and every element zero, reusing the

@@ -150,12 +150,23 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 	// triangle t. It touches only triangle t's distribution and the caller's
 	// scratch, so concurrent calls for distinct triangles with distinct
 	// scratches are safe; method tallies are applied by the caller.
+	//
+	// In AP mode the Sec. 5.3 method selection reads the Dist's maintained
+	// µ/σ²/max-p aggregates (amortized O(1), bit-compatible with rescanning
+	// the live factors), and the DP fallback answers from the incrementally-
+	// maintained pmf instead of re-running the from-scratch dynamic program
+	// — so an AP re-score only packs the live factor slice when a closed-
+	// form approximation actually consumes it.
 	score := func(t int32, sc *scoreScratch) (int, pbd.Method) {
 		thr := theta / triProb[t]
 		if opts.Mode == ModeAP {
+			m := dists[t].Choose(opts.Hyper)
+			if m == pbd.MethodDP {
+				return dists[t].MaxK(thr), pbd.MethodDP
+			}
 			probs := dists[t].AppendAlive(sc.probs[:0])
 			sc.probs = probs
-			return pbd.ApproxMaxKScratch(probs, thr, opts.Hyper, &sc.dp)
+			return pbd.MaxKWithScratch(probs, thr, m, &sc.dp), m
 		}
 		return dists[t].MaxK(thr), pbd.MethodDP
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
@@ -12,17 +14,28 @@ import (
 
 // WeaklyGlobalNuclei implements Algorithm 3: it finds the w-(k,θ)-nuclei of
 // pg. Every w-(k,θ)-nucleus is contained in an ℓ-(k,θ)-nucleus, so each
-// local nucleus H is used as a candidate: n possible worlds of H are
-// sampled, a deterministic nucleus decomposition is run on each, and every
-// triangle's global_score counts the worlds in which it belongs to a
-// deterministic k-nucleus. Triangles with score/n ≥ θ are assembled into
+// local nucleus H is used as a candidate, and every triangle's global_score
+// counts the sampled worlds in which it belongs to a deterministic
+// k-nucleus. Triangles with score/n ≥ θ are assembled into
 // 4-clique-connected unions.
+//
+// The n possible worlds are sampled once per call over the union of all
+// candidate edge sets and shared by every candidate (each candidate's
+// marginal world distribution is unchanged — edges are kept independently
+// with their probabilities either way — so each estimate keeps its (ε,δ)
+// guarantee; only the PRNG stream assignment differs from the per-candidate
+// sampler, hence the deliberate golden regeneration). Per world, membership
+// is scored incrementally: the candidate is peeled once, and each world —
+// which can only lose cliques relative to the candidate — subtracts a
+// deletion cascade seeded at its missing edges from the candidate's level-k
+// core (decomp.WorldPeelSeed), so the per-world cost is proportional to
+// what the world lost, not to a full bucket-queue peel of the candidate.
 //
 // The candidate pipeline reuses the parent triangle index throughout: each
 // candidate subgraph is indexed by restricting the local decomposition's
-// index (no re-enumeration), per-world membership is scored through reusable
-// per-worker views of that restriction, and scores accumulate in flat
-// per-triangle slots instead of per-world hash maps.
+// index (no re-enumeration), per-world losses are counted into flat
+// per-triangle slots by reusable per-worker scorers, and scores are
+// recovered as worlds-minus-losses over the candidate core.
 func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("core: negative k = %d", k)
@@ -39,48 +52,64 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 			return nil, err
 		}
 	}
+	cands := local.NucleiForK(k)
+	if len(cands) == 0 {
+		return nil, nil
+	}
 	n := opts.sampleCount()
 	workers := pool.Workers()
 
+	// One shared world stream over the union of all candidate edges (every
+	// candidate is a subgraph of it), sampled as one flat bank of edge
+	// bitmasks.
+	union := unionEdges(cands)
+	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+
 	var out []ProbNucleus
-	// scores[w][t]: number of sampled worlds whose deterministic nucleus
-	// decomposition places candidate triangle t inside a k-nucleus,
-	// accumulated by worker w. The merge is a commutative sum, so the totals
-	// match the serial run for every worker count. The slices are reused and
-	// cleared between candidates.
-	scores := make([][]int32, workers)
+	// losses[w][t]: number of shared worlds in which candidate triangle t
+	// fell out of the candidate's level-k core, accumulated by worker w. The
+	// merge is a commutative sum, so the totals match the serial run for
+	// every worker count. The slices are reused and cleared between
+	// candidates.
+	losses := make([][]int32, workers)
 	scorers := make([]decomp.WorldMembershipScorer, workers)
+	var seed decomp.WorldPeelSeed
 	var sub graph.SubIndexScratch
 	var qual []float64
-	for _, cand := range local.NucleiForK(k) {
-		h := candidateSubgraph(pg, cand)
-		hti := local.TI.SubIndex(h.G, &sub)
+	// One closure for the whole candidate loop, not one per candidate.
+	worldFn := func(worker, i int) {
+		cnt := losses[worker]
+		for _, id := range scorers[worker].NonQualifyingMask(&seed, masks[i*words:(i+1)*words]) {
+			cnt[id]++
+		}
+	}
+	for _, cand := range cands {
+		h := graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
+		hti := local.TI.SubIndex(h, &sub)
 		m := hti.Len()
-		for w := range scores {
-			scores[w] = resizeCleared(scores[w], m)
-			scorers[w].Reset(hti)
+		seed.Seed(hti, cand.Edges, k)
+		seed.MapUnion(union)
+		for w := range losses {
+			losses[w] = resizeCleared(losses[w], m)
 		}
-		mc.ForEachWorldPool(pool, h, n, opts.Seed, func(worker, _ int, w *graph.Graph) {
-			cnt := scores[worker]
-			for _, id := range scorers[worker].Qualifying(w, k) {
-				cnt[id]++
-			}
-		})
-		score := scores[0]
-		for _, s := range scores[1:] {
-			for t, c := range s {
-				score[t] += c
-			}
-		}
+		pool.ForWorker(n, worldFn)
 		// Qualifying triangles of the candidate: qual[t] holds the estimated
-		// probability for candidate-index id t, or -1 when below θ.
+		// probability for candidate-index id t, or -1 when below θ. Only the
+		// local nucleus's own triangles are scored (the candidate edge set
+		// may span extra triangles, which Algorithm 3 never considers), and a
+		// triangle outside the candidate's level-k core qualifies in no
+		// world, so its score is 0 without consulting the losses.
 		qual = resizeFilled(qual, m, -1)
 		for _, tri := range cand.Triangles {
 			id, ok := hti.ID(tri)
-			if !ok {
-				continue // cannot happen: the candidate spans its own edges
+			if !ok || !seed.InCore(id) {
+				continue // absent ids cannot happen: the candidate spans its own edges
 			}
-			if p := float64(score[id]) / float64(n); p >= theta {
+			lost := int32(0)
+			for w := range losses {
+				lost += losses[w][id]
+			}
+			if p := float64(int32(n)-lost) / float64(n); p >= theta {
 				qual[id] = p
 			}
 		}
@@ -88,6 +117,28 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	}
 	sortNuclei(out)
 	return out, nil
+}
+
+// unionEdges merges the sorted canonical edge lists of the candidates into
+// one sorted duplicate-free list — the edge set the shared worlds are
+// sampled over. Distinct local nuclei have disjoint triangle sets but may
+// share edges, hence the compaction.
+func unionEdges(cands []decomp.Nucleus) []graph.Edge {
+	total := 0
+	for _, c := range cands {
+		total += len(c.Edges)
+	}
+	union := make([]graph.Edge, 0, total)
+	for _, c := range cands {
+		union = append(union, c.Edges...)
+	}
+	slices.SortFunc(union, func(a, b graph.Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	return slices.Compact(union)
 }
 
 // resizeFilled returns s with length n and every element set to v, reusing
@@ -165,13 +216,4 @@ func minQualProb(grp []int32, qual []float64) float64 {
 		}
 	}
 	return min
-}
-
-// candidateSubgraph extracts the probabilistic subgraph spanned by a local
-// nucleus. Nucleus edge lists are canonical and sorted, so the subgraph is
-// assembled directly from the sorted slice — membership and probabilities
-// resolve by binary search in pg's adjacency, with no per-candidate edge
-// hash map.
-func candidateSubgraph(pg *probgraph.Graph, cand decomp.Nucleus) *probgraph.Graph {
-	return pg.SubgraphOfEdges(cand.Edges)
 }

@@ -1,0 +1,304 @@
+package decomp
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"probnucleus/internal/graph"
+)
+
+// worldOf draws a random "world" of g: each of g's edges kept with
+// probability keep, plus — when extra is true — a few random edges outside
+// g over the same vertex range, mimicking a shared world sampled over a
+// candidate union that this candidate is only part of.
+func worldOf(rng *rand.Rand, g *graph.Graph, keep float64, extra bool) *graph.Graph {
+	var es []graph.Edge
+	for _, e := range g.Edges() {
+		if rng.Float64() < keep {
+			es = append(es, e)
+		}
+	}
+	if extra {
+		n := int32(g.NumVertices())
+		for i := 0; i < 5; i++ {
+			u, v := rng.Int31n(n), rng.Int31n(n)
+			if u != v && !g.HasEdge(u, v) {
+				es = append(es, graph.Edge{U: u, V: v}.Canon())
+			}
+		}
+	}
+	return graph.FromEdges(g.NumVertices(), es)
+}
+
+// qualifyingViaSeed computes the qualifying set of a world through the
+// incremental path: candidate core minus the NonQualifying cascade.
+func qualifyingViaSeed(ws *WorldMembershipScorer, seed *WorldPeelSeed, world *graph.Graph) []int32 {
+	dead := ws.NonQualifying(seed, world)
+	deadSet := make(map[int32]bool, len(dead))
+	for _, t := range dead {
+		deadSet[t] = true
+	}
+	var out []int32
+	for _, t := range seed.Core() {
+		if !deadSet[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TestSeededWorldPeelMatchesFullPeel: for random candidates, worlds (with
+// and without union edges outside the candidate), and levels k, the
+// incremental loss cascade must select exactly the triangles the full
+// per-world bucket-queue peel selects. This is the drop-in proof for the
+// shared-world engine's dominant-term optimization.
+func TestSeededWorldPeelMatchesFullPeel(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 11, 0.55)
+		ti := graph.NewTriangleIndex(g)
+		if ti.Len() == 0 {
+			continue
+		}
+		edges := g.Edges()
+		var full WorldMembershipScorer
+		full.Reset(ti)
+		var inc WorldMembershipScorer
+		var seed WorldPeelSeed
+		for k := 0; k <= 3; k++ {
+			seed.Seed(ti, edges, k)
+			for w := 0; w < 6; w++ {
+				world := worldOf(rng, g, 0.75, w%2 == 1)
+				want := slices.Clone(full.Qualifying(world, k))
+				got := slices.Clone(qualifyingViaSeed(&inc, &seed, world))
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d k=%d world %d: seeded peel %v, full peel %v",
+						trial, k, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWorldMembershipScorerResetReuse: one scorer (and one seed) rebound
+// across candidates of very different sizes must reproduce what fresh
+// instances compute — both through the full-peel Reset/Qualifying path and
+// the seeded incremental path, interleaved so stale stamps, supports, and
+// clique marks from a larger candidate would surface on a smaller one.
+func TestWorldMembershipScorerResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	sizes := []int{14, 6, 12, 5, 9}
+	type cand struct {
+		g     *graph.Graph
+		ti    *graph.TriangleIndex
+		edges []graph.Edge
+	}
+	cands := make([]cand, len(sizes))
+	for i, n := range sizes {
+		g := randomGraph(rng, n, 0.6)
+		cands[i] = cand{g: g, ti: graph.NewTriangleIndex(g), edges: g.Edges()}
+	}
+	var shared WorldMembershipScorer
+	var sharedSeed WorldPeelSeed
+	for round := 0; round < 3; round++ { // revisit candidates to exercise reuse
+		for i, c := range cands {
+			for k := 0; k <= 2; k++ {
+				var fresh WorldMembershipScorer
+				var freshSeed WorldPeelSeed
+				fresh.Reset(c.ti)
+				shared.Reset(c.ti)
+				sharedSeed.Seed(c.ti, c.edges, k)
+				freshSeed.Seed(c.ti, c.edges, k)
+				for w := 0; w < 4; w++ {
+					world := worldOf(rng, c.g, 0.7, w%2 == 0)
+					want := slices.Clone(fresh.Qualifying(world, k))
+					got := slices.Clone(shared.Qualifying(world, k))
+					slices.Sort(want)
+					slices.Sort(got)
+					if !slices.Equal(got, want) {
+						t.Fatalf("round %d cand %d k=%d: reused Qualifying %v, fresh %v",
+							round, i, k, got, want)
+					}
+					var freshInc WorldMembershipScorer
+					wantInc := slices.Clone(qualifyingViaSeed(&freshInc, &freshSeed, world))
+					gotInc := slices.Clone(qualifyingViaSeed(&shared, &sharedSeed, world))
+					slices.Sort(wantInc)
+					slices.Sort(gotInc)
+					if !slices.Equal(gotInc, wantInc) {
+						t.Fatalf("round %d cand %d k=%d: reused seeded peel %v, fresh %v",
+							round, i, k, gotInc, wantInc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// unionWith merges g's edges with a few random extra edges over the same
+// vertex range into a sorted duplicate-free union list — the edge space a
+// shared world bank would be sampled over when g is only one candidate of
+// many.
+func unionWith(rng *rand.Rand, g *graph.Graph) []graph.Edge {
+	es := slices.Clone(g.Edges())
+	n := int32(g.NumVertices())
+	for i := 0; i < 6; i++ {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u != v && !g.HasEdge(u, v) {
+			es = append(es, graph.Edge{U: u, V: v}.Canon())
+		}
+	}
+	slices.SortFunc(es, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.V) - int(b.V)
+	})
+	return slices.Compact(es)
+}
+
+// maskAndWorld draws a random world over the union: each union edge kept
+// with probability keep, returned both as a bitmask over the union ids and
+// as a materialized graph.
+func maskAndWorld(rng *rand.Rand, nv int, union []graph.Edge, keep float64) ([]uint64, *graph.Graph) {
+	mask := make([]uint64, (len(union)+63)/64)
+	var es []graph.Edge
+	for ei, e := range union {
+		if rng.Float64() < keep {
+			mask[ei>>6] |= 1 << (uint(ei) & 63)
+			es = append(es, e)
+		}
+	}
+	return mask, graph.FromSortedEdges(nv, es)
+}
+
+// TestNonQualifyingMaskMatchesGraph: the bitmask form of the incremental
+// loss cascade must return exactly what the graph form returns for the same
+// world, across candidates embedded in larger unions.
+func TestNonQualifyingMaskMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 11, 0.55)
+		ti := graph.NewTriangleIndex(g)
+		if ti.Len() == 0 {
+			continue
+		}
+		edges := g.Edges()
+		union := unionWith(rng, g)
+		var seed WorldPeelSeed
+		var viaGraph, viaMask WorldMembershipScorer
+		for k := 0; k <= 3; k++ {
+			seed.Seed(ti, edges, k)
+			seed.MapUnion(union)
+			for w := 0; w < 6; w++ {
+				mask, world := maskAndWorld(rng, g.NumVertices(), union, 0.7)
+				want := slices.Clone(viaGraph.NonQualifying(&seed, world))
+				got := slices.Clone(viaMask.NonQualifyingMask(&seed, mask))
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d k=%d world %d: mask losses %v, graph losses %v",
+						trial, k, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskQualifyingMatchesGraphChecker: the bitmask form of the global
+// world predicate must agree with the candidate-restricted graph checker —
+// same verdict and same credited triangle ids — for worlds sampled over a
+// union larger than the candidate.
+func TestMaskQualifyingMatchesGraphChecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 10, 0.6)
+		ti := graph.NewTriangleIndex(g)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			continue
+		}
+		union := unionWith(rng, g)
+		var verts []int32
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			if g.Degree(v) > 0 {
+				verts = append(verts, v)
+			}
+		}
+		var seed WorldCheckSeed
+		var viaGraph, viaMask WorldChecker
+		viaGraph.Reset(ti, g)
+		for k := 0; k <= 2; k++ {
+			seed.Seed(ti, edges, union, verts, k)
+			for w := 0; w < 8; w++ {
+				mask, world := maskAndWorld(rng, g.NumVertices(), union, 0.8)
+				wantIDs, wantOK := viaGraph.QualifyingTriangles(world, verts, k)
+				gotIDs, gotOK := viaMask.MaskQualifying(&seed, mask)
+				if gotOK != wantOK {
+					t.Fatalf("trial %d k=%d world %d: mask verdict %v, graph verdict %v",
+						trial, k, w, gotOK, wantOK)
+				}
+				if !wantOK {
+					continue
+				}
+				// The graph checker reports parent ids of its own world view;
+				// both id spaces are the candidate view's, so the sets must
+				// match exactly.
+				want := slices.Clone(wantIDs)
+				got := slices.Clone(gotIDs)
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d k=%d world %d: mask ids %v, graph ids %v",
+						trial, k, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWorldCheckerCandidateRestrictedConnectivity: with a bound candidate
+// graph, union-world edges outside the candidate must not connect the
+// candidate's vertices — two candidate components bridged only by a foreign
+// edge stay disconnected under the predicate, while the legacy nil-candidate
+// walk (valid only for worlds that are candidate subgraphs) would see them
+// joined.
+func TestWorldCheckerCandidateRestrictedConnectivity(t *testing.T) {
+	clique := func(b *graph.Builder, vs ...int32) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if err := b.AddEdge(vs[i], vs[j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	cb := graph.NewBuilder(8)
+	clique(cb, 0, 1, 2, 3)
+	clique(cb, 4, 5, 6, 7)
+	cand := cb.Build()
+
+	wb := graph.NewBuilder(8)
+	clique(wb, 0, 1, 2, 3)
+	clique(wb, 4, 5, 6, 7)
+	if err := wb.AddEdge(3, 4); err != nil { // union edge outside the candidate
+		t.Fatal(err)
+	}
+	world := wb.Build()
+
+	verts := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	hti := graph.NewTriangleIndex(cand)
+
+	var restricted WorldChecker
+	restricted.Reset(hti, cand)
+	if _, ok := restricted.QualifyingTriangles(world, verts, 0); ok {
+		t.Error("candidate-restricted checker connected two components through a foreign edge")
+	}
+	var legacy WorldChecker
+	legacy.Reset(hti, nil)
+	if _, ok := legacy.QualifyingTriangles(world, verts, 0); !ok {
+		t.Error("nil-candidate checker should walk the world directly and see it connected")
+	}
+}

@@ -274,6 +274,34 @@ func (b *Builder) Build() *Graph {
 // subgraph extraction over an already-sorted edge list.
 func FromCSR(offs, adj []int32) *Graph { return &Graph{offs: offs, adj: adj} }
 
+// FromSortedEdges builds a graph over n vertices from canonical (U < V),
+// (U,V)-sorted, duplicate-free edges by direct CSR assembly (count pass,
+// prefix sum, fill pass — no Builder hash map). Processing edges in
+// canonical order appends every vertex's back-neighbours (from edges where
+// it is V) before its forward ones, each run ascending, so adjacency comes
+// out sorted for free. It is the deterministic-graph counterpart of
+// probgraph.SubgraphOfEdges, for candidate subgraphs that never need edge
+// probabilities.
+func FromSortedEdges(n int, es []Edge) *Graph {
+	offs := make([]int32, n+1)
+	for _, e := range es {
+		offs[e.U+1]++
+		offs[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	adj := make([]int32, 2*len(es))
+	fill := make([]int32, n)
+	for _, e := range es {
+		adj[offs[e.U]+fill[e.U]] = e.V
+		adj[offs[e.V]+fill[e.V]] = e.U
+		fill[e.U]++
+		fill[e.V]++
+	}
+	return &Graph{offs: offs, adj: adj}
+}
+
 // FromEdges builds a graph from a list of edges, ignoring duplicates.
 func FromEdges(n int, edges []Edge) *Graph {
 	b := NewBuilder(n)

@@ -104,6 +104,112 @@ func TestSubIndexStacked(t *testing.T) {
 	}
 }
 
+// TestSubIndexStackedThreeDeep: the shared-world engine chains parent →
+// candidate → world → sub-world, so three stacked restrictions must behave
+// like restricting the root index directly — same triangles, same
+// completion lists, ID translation through the whole chain, and ParentIDs
+// naming the immediate parent's ids at every level.
+func TestSubIndexStackedThreeDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 13, 0.55)
+		ti := NewTriangleIndex(g)
+		cand := subgraphKeepingEdges(g, func(u, v int32) bool { return rng.Float64() < 0.85 })
+		world := subgraphKeepingEdges(cand, func(u, v int32) bool { return rng.Float64() < 0.85 })
+		subWorld := subgraphKeepingEdges(world, func(u, v int32) bool { return rng.Float64() < 0.85 })
+
+		var scr1, scr2, scr3 SubIndexScratch
+		candView := ti.SubIndex(cand, &scr1)
+		worldView := candView.SubIndex(world, &scr2)
+		subView := worldView.SubIndex(subWorld, &scr3)
+		want := NewTriangleIndex(subWorld)
+
+		if subView.Len() != want.Len() {
+			t.Fatalf("trial %d: depth-3 view has %d triangles, fresh %d", trial, subView.Len(), want.Len())
+		}
+		for i, tri := range subView.Tris {
+			id, ok := subView.ID(tri)
+			if !ok || id != int32(i) {
+				t.Fatalf("trial %d: depth-3 view.ID(%v) = %d,%v; want %d,true", trial, tri, id, ok, i)
+			}
+			wid, ok := want.ID(tri)
+			if !ok {
+				t.Fatalf("trial %d: depth-3 triangle %v not in fresh index", trial, tri)
+			}
+			if len(subView.Comps[i]) != len(want.Comps[wid]) {
+				t.Fatalf("trial %d: triangle %v completion counts differ", trial, tri)
+			}
+			for j := range subView.Comps[i] {
+				if subView.Comps[i][j] != want.Comps[wid][j] {
+					t.Fatalf("trial %d: triangle %v completions %v != %v",
+						trial, tri, subView.Comps[i], want.Comps[wid])
+				}
+			}
+			// ParentIDs at each level must name the triangle one level up.
+			pid := scr3.ParentIDs()[i]
+			if worldView.Tris[pid] != tri {
+				t.Fatalf("trial %d: depth-3 ParentIDs()[%d] names %v, want %v",
+					trial, i, worldView.Tris[pid], tri)
+			}
+			ppid := scr2.ParentIDs()[pid]
+			if candView.Tris[ppid] != tri {
+				t.Fatalf("trial %d: depth-2 ParentIDs()[%d] names %v, want %v",
+					trial, pid, candView.Tris[ppid], tri)
+			}
+		}
+		// Triangles dropped anywhere along the chain must not resolve.
+		for _, tri := range ti.Tris {
+			if _, inWant := want.ID(tri); inWant {
+				continue
+			}
+			if _, ok := subView.ID(tri); ok {
+				t.Fatalf("trial %d: dropped triangle %v still resolves at depth 3", trial, tri)
+			}
+		}
+	}
+}
+
+// TestSubIndexSupergraphWorld: restricting a candidate view by a graph that
+// also carries edges *outside* the candidate — a shared world sampled over
+// a candidate union — must equal restricting by the intersection of the two
+// edge sets. This is the contract the shared-world validation engine leans
+// on.
+func TestSubIndexSupergraphWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 13, 0.55)
+		ti := NewTriangleIndex(g)
+		cand := subgraphKeepingEdges(g, func(u, v int32) bool { return rng.Float64() < 0.6 })
+		// A "union world": random subset of ALL of g's edges, candidate or not.
+		world := subgraphKeepingEdges(g, func(u, v int32) bool { return rng.Float64() < 0.7 })
+		// The intersection world the per-candidate sampler would have drawn.
+		intersect := subgraphKeepingEdges(cand, func(u, v int32) bool { return world.HasEdge(u, v) })
+
+		var scr1, scr2, scr3 SubIndexScratch
+		candView := ti.SubIndex(cand, &scr1)
+		got := candView.SubIndex(world, &scr2)
+		want := candView.SubIndex(intersect, &scr3)
+
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d: supergraph view has %d triangles, intersection %d", trial, got.Len(), want.Len())
+		}
+		for i := range got.Tris {
+			if got.Tris[i] != want.Tris[i] {
+				t.Fatalf("trial %d: triangle %d is %v via supergraph, %v via intersection",
+					trial, i, got.Tris[i], want.Tris[i])
+			}
+			if len(got.Comps[i]) != len(want.Comps[i]) {
+				t.Fatalf("trial %d: triangle %v completion counts differ", trial, got.Tris[i])
+			}
+			for j := range got.Comps[i] {
+				if got.Comps[i][j] != want.Comps[i][j] {
+					t.Fatalf("trial %d: triangle %v completions differ", trial, got.Tris[i])
+				}
+			}
+		}
+	}
+}
+
 // TestSubIndexScratchReuse: rebuilding views on one scratch must not corrupt
 // results, and the steady state must not allocate.
 func TestSubIndexScratchReuse(t *testing.T) {

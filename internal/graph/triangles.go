@@ -299,19 +299,24 @@ type SubIndexScratch struct {
 // slice is valid until the next SubIndex call on the scratch.
 func (scr *SubIndexScratch) ParentIDs() []int32 { return scr.pids }
 
-// SubIndex returns the restriction of ti to the subgraph g: the triangles of
-// ti whose three edges all exist in g, with dense view ids assigned in
+// SubIndex returns the restriction of ti to the edge set of g: the triangles
+// of ti whose three edges all exist in g, with dense view ids assigned in
 // parent-id order, and completion lists filtered to the completions whose
-// 4-clique survives in g. g must be an edge-subgraph of the graph ti indexes,
-// over the same vertex-id space — then the view's triangles and 4-cliques are
-// exactly those NewTriangleIndex(g) would enumerate (in a different id
-// order), at the cost of a filtering scan instead of a fresh enumeration,
-// hash map, and degeneracy ordering.
+// 4-clique survives in g. g lives over the same vertex-id space as the graph
+// ti indexes; only membership of ti's own triangle and completion edges is
+// queried, so g need not be a subgraph of the indexed graph — edges of g
+// outside it are simply ignored, and the view is the restriction of ti to
+// the intersection of the two edge sets. When g is an edge-subgraph, the
+// view's triangles and 4-cliques are exactly those NewTriangleIndex(g) would
+// enumerate (in a different id order), at the cost of a filtering scan
+// instead of a fresh enumeration, hash map, and degeneracy ordering.
 //
 // The view lives in scr and is valid until the next SubIndex call on the
 // same scratch. Views stack: restricting a view (e.g. a per-candidate view
 // of the full index refined per sampled world) chains id translation through
-// each level.
+// each level. The supergraph tolerance is what lets the shared-world engine
+// restrict one candidate view by worlds sampled over the whole candidate
+// union instead of resampling per candidate.
 func (ti *TriangleIndex) SubIndex(g *Graph, scr *SubIndexScratch) *TriangleIndex {
 	n := ti.Len()
 	if cap(scr.subID) < n {

@@ -126,6 +126,46 @@ func ForEachWorldPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64, fn
 	pool.ForWorker(chunks, worldChunkRunner(pg, n, seed, fn))
 }
 
+// WorldMasksPool samples the same n worlds as ParallelWorlds on a
+// caller-owned pool, but represents each as a bitmask over pg's canonical
+// edge list instead of a CSR graph: bit e of
+// world i (at masks[i*words+e/64], bit e%64) is set iff edge pg.Edges()[e]
+// exists in the world. The whole bank lives in one flat allocation, and
+// world i is drawn from the identical PRNG stream as SampleWorld — one
+// Float64 per edge in canonical order — so masks and materialized graphs
+// from the same seed describe the same worlds, for every pool size.
+//
+// This is the shared-world engine's working representation: candidates
+// precompute the union edge ids of their triangles once, then evaluate each
+// world with O(1) bit tests instead of per-world adjacency binary searches
+// and per-world graph construction.
+func WorldMasksPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (masks []uint64, words int) {
+	edges := pg.Edges()
+	words = (len(edges) + 63) / 64
+	if n <= 0 {
+		return nil, words
+	}
+	masks = make([]uint64, n*words)
+	chunks := (n + WorldChunk - 1) / WorldChunk
+	pool.ForWorker(chunks, func(_, c int) {
+		rng := rand.New(rand.NewSource(DeriveSeed(seed, c)))
+		lo := c * WorldChunk
+		hi := lo + WorldChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			m := masks[i*words : (i+1)*words]
+			for e := range edges {
+				if rng.Float64() < edges[e].P {
+					m[e>>6] |= 1 << (uint(e) & 63)
+				}
+			}
+		}
+	})
+	return masks, words
+}
+
 // worldChunkRunner adapts per-chunk world generation to a parallel-for body:
 // chunk c draws its WorldChunk worlds from the PRNG seeded DeriveSeed(seed, c).
 func worldChunkRunner(pg *probgraph.Graph, n int, seed int64, fn func(worker, i int, w *graph.Graph)) func(worker, c int) {

@@ -1,0 +1,146 @@
+package pbd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chooseOracle is the from-scratch selection the maintained aggregates must
+// reproduce bit for bit: pack the live factors in slot order and run the
+// package-level rule chain.
+func chooseOracle(d *Dist, h Hyper) Method {
+	return Choose(d.AppendAlive(nil), h)
+}
+
+// randomChooseDist draws a factor vector from one of several regimes so the
+// sequences below exercise every branch of the rule chain (CLT-sized, low-p
+// Poisson, high-p translated-Poisson, near-uniform binomial, and mixtures).
+func randomChooseDist(rng *rand.Rand) []float64 {
+	n := 1 + rng.Intn(60)
+	if rng.Intn(6) == 0 {
+		n = 190 + rng.Intn(20) // straddle the A = 200 CLT boundary
+	}
+	probs := make([]float64, n)
+	switch rng.Intn(4) {
+	case 0: // low-p: Poisson territory (max p < C)
+		for i := range probs {
+			probs[i] = 0.01 + 0.2*rng.Float64()
+		}
+	case 1: // high-p: Σp² > 1 quickly
+		for i := range probs {
+			probs[i] = 0.6 + 0.39*rng.Float64()
+		}
+	case 2: // near-uniform: binomial variance-ratio territory
+		base := 0.3 + 0.4*rng.Float64()
+		for i := range probs {
+			probs[i] = base + 0.01*rng.Float64()
+		}
+	default: // mixed
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+	}
+	return probs
+}
+
+// TestDistChooseMatchesOracle drives random add/remove/query sequences and
+// asserts that the maintained-aggregate selection equals the from-scratch
+// rule chain after every mutation — including under adversarial
+// hyperparameters pinned exactly at the running statistics, which forces the
+// drift-margin rescan path to decide borderline comparisons.
+func TestDistChooseMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		probs := randomChooseDist(rng)
+		d := NewDist(append([]float64(nil), probs...))
+		hypers := []Hyper{DefaultHyper, {A: 30, B: 100, C: 0.25, D: 0.9}}
+		check := func(step string) {
+			for _, h := range hypers {
+				if got, want := d.Choose(h), chooseOracle(d, h); got != want {
+					t.Fatalf("trial %d %s: Choose(%+v) = %v, oracle %v (live %d)",
+						trial, step, h, got, want, d.Live())
+				}
+			}
+			// Adversarial hypers at the exact running statistics: C at the
+			// current max p tests the strict < on an exact comparison, D at
+			// the current variance ratio lands inside the drift margin and
+			// must rescan to decide.
+			live := d.AppendAlive(nil)
+			if len(live) > 0 {
+				maxP, mu, s2 := 0.0, 0.0, 0.0
+				for _, p := range live {
+					if p > maxP {
+						maxP = p
+					}
+					mu += p
+					s2 += p * (1 - p)
+				}
+				pBin := mu / float64(len(live))
+				if bv := float64(len(live)) * pBin * (1 - pBin); bv > 0 {
+					h := Hyper{A: 1 << 30, B: 1 << 30, C: maxP, D: s2 / bv}
+					if got, want := d.Choose(h), chooseOracle(d, h); got != want {
+						t.Fatalf("trial %d %s: adversarial Choose = %v, oracle %v", trial, step, got, want)
+					}
+				}
+			}
+		}
+		check("init")
+		for step := 0; step < 40 && d.Len() < 400; step++ {
+			if d.Live() > 0 && rng.Intn(3) != 0 {
+				slot := rng.Intn(d.Len())
+				for !d.Alive(slot) {
+					slot = rng.Intn(d.Len())
+				}
+				d.RemoveFactor(slot)
+			} else {
+				d.AddFactor(rng.Float64())
+			}
+			check("mutate")
+		}
+	}
+}
+
+// TestDistChooseBorderlineSumSq pins the Σp² > 1 rule at an exactly
+// representable boundary: four factors of ½ give Σp² = 1.0 with no rounding,
+// so the maintained path must rescan and then agree with the oracle's strict
+// comparison, both before and after incremental removals re-approach the
+// boundary.
+func TestDistChooseBorderlineSumSq(t *testing.T) {
+	h := Hyper{A: 1 << 30, B: 0, C: 0, D: 2} // isolate the Σp² rule
+	d := NewDist([]float64{0.5, 0.5, 0.5, 0.5})
+	if got := d.Choose(h); got != chooseOracle(d, h) {
+		t.Fatalf("sumSq = 1 exactly: Choose = %v, oracle %v", got, chooseOracle(d, h))
+	}
+	s5 := d.AddFactor(0.5) // Σp² = 1.25 > 1 → translated Poisson
+	if got, want := d.Choose(h), MethodTranslatedPoisson; got != want {
+		t.Fatalf("sumSq = 1.25: Choose = %v, want %v", got, want)
+	}
+	d.RemoveFactor(s5) // back to the exact boundary through the incremental path
+	if got, want := d.Choose(h), chooseOracle(d, h); got != want {
+		t.Fatalf("sumSq back to 1: Choose = %v, oracle %v", got, want)
+	}
+}
+
+// TestDistChooseMaxRemoval exercises the lazy max rescan: removing the only
+// copy of the maximum must fall back to the next-largest live factor, with
+// the Poisson rule's max p < C comparison staying exact throughout.
+func TestDistChooseMaxRemoval(t *testing.T) {
+	h := Hyper{A: 1 << 30, B: 1 << 30, C: 0.3, D: 2}
+	d := NewDist([]float64{0.1, 0.2, 0.4})
+	if got, want := d.Choose(h), MethodDP; got != want { // max 0.4 ≥ C
+		t.Fatalf("with max 0.4: Choose = %v, want %v", got, want)
+	}
+	d.RemoveFactor(2)
+	if got, want := d.Choose(h), MethodPoisson; got != want { // max now 0.2 < C
+		t.Fatalf("after removing max: Choose = %v, want %v", got, want)
+	}
+	if got := chooseOracle(d, h); got != MethodPoisson {
+		t.Fatalf("oracle disagrees: %v", got)
+	}
+	// Duplicate maxima: removing one copy keeps the max exact.
+	d2 := NewDist([]float64{0.35, 0.35, 0.1})
+	d2.RemoveFactor(0)
+	if got, want := d2.Choose(h), chooseOracle(d2, h); got != want {
+		t.Fatalf("duplicate max removal: Choose = %v, oracle %v", got, want)
+	}
+}

@@ -46,6 +46,20 @@ type Dist struct {
 	exact bool      // f is bitwise the from-scratch slot-order DP prefix
 	dirty bool      // f must be rebuilt before the next query
 	want  int       // bound growth hint for the next rebuild
+
+	// Incrementally-maintained Choose aggregates over the live factors (see
+	// Choose): Σp, Σp², Σp(1−p), and the exact maximum with its live
+	// multiplicity. aggErr bounds how far each maintained sum may have
+	// drifted from the slot-order accumulation a from-scratch rescan
+	// produces; 0 means the sums are bitwise the rescan's. maxDirty marks
+	// that the running maximum was removed and must be rescanned lazily.
+	sumP     float64
+	sumSq    float64
+	sumPQ    float64
+	maxP     float64
+	maxCnt   int
+	maxDirty bool
+	aggErr   float64
 }
 
 // NewDist returns a distribution over probs, taking ownership of the slice.
@@ -72,6 +86,7 @@ func (d *Dist) Init(probs []float64) {
 	d.exact = false
 	d.dirty = true
 	d.want = 0
+	d.rescanAgg()
 }
 
 // InitBuffered is Init with a caller-provided pmf buffer (typically a slice
@@ -113,6 +128,7 @@ func (d *Dist) AddFactor(p float64) int {
 	slot := len(d.factors)
 	d.factors = append(d.factors, p)
 	d.live++
+	d.addAgg(p)
 	if d.dirty {
 		return slot
 	}
@@ -145,6 +161,7 @@ func (d *Dist) RemoveFactor(slot int) {
 	}
 	d.factors[slot] = -1
 	d.live--
+	d.removeAgg(p)
 	if d.dirty {
 		return
 	}
@@ -254,6 +271,140 @@ func (d *Dist) scan(t float64) (ans int, grow, uncertain bool) {
 		}
 	}
 	return ans, limit < d.live, false
+}
+
+// addAgg folds a new live factor into the maintained Choose aggregates.
+func (d *Dist) addAgg(p float64) {
+	d.sumP += p
+	d.sumSq += p * p
+	d.sumPQ += p * (1 - p)
+	if !d.maxDirty {
+		if p > d.maxP {
+			d.maxP = p
+			d.maxCnt = 1
+		} else if p == d.maxP {
+			d.maxCnt++
+		}
+	}
+	d.aggErr += ulp * (float64(d.live) + 4)
+}
+
+// removeAgg subtracts a removed factor from the maintained Choose
+// aggregates. Removing the last live copy of the running maximum marks it
+// for a lazy rescan.
+func (d *Dist) removeAgg(p float64) {
+	d.sumP -= p
+	d.sumSq -= p * p
+	d.sumPQ -= p * (1 - p)
+	if !d.maxDirty && p == d.maxP {
+		d.maxCnt--
+		if d.maxCnt == 0 {
+			d.maxDirty = true
+		}
+	}
+	d.aggErr += ulp * (float64(d.live) + 5)
+}
+
+// rescanAgg recomputes the Choose aggregates from scratch over the live
+// factors in slot order — the exact float sequence Choose(liveProbs, h)
+// accumulates — clearing the drift bound.
+func (d *Dist) rescanAgg() {
+	d.sumP, d.sumSq, d.sumPQ = 0, 0, 0
+	d.maxP, d.maxCnt = 0, 0
+	for _, p := range d.factors {
+		if p < 0 {
+			continue
+		}
+		d.sumP += p
+		d.sumSq += p * p
+		d.sumPQ += p * (1 - p)
+		if p > d.maxP {
+			d.maxP = p
+			d.maxCnt = 1
+		} else if p == d.maxP {
+			d.maxCnt++
+		}
+	}
+	d.maxDirty = false
+	d.aggErr = 0
+}
+
+// aggMargin bounds how far each maintained sum can sit from the value a
+// from-scratch slot-order accumulation over the live factors would produce:
+// the incremental drift plus the rescan's own rounding (≤ live additions of
+// terms in [0,1] against partial sums ≤ live), doubled for slack. 0 means
+// the sums are bitwise the rescan's.
+func (d *Dist) aggMargin() float64 {
+	if d.aggErr == 0 {
+		return 0
+	}
+	live := float64(d.live)
+	return 2 * (d.aggErr + ulp*live*(live*0.5+2))
+}
+
+// Choose applies the paper's Sec. 5.3 rule chain over the live factors using
+// the maintained aggregates — amortized O(1) instead of the O(c) rescan
+// Choose(liveProbs, h) pays per query. The answer is identical to
+// Choose(d.AppendAlive(nil), h): the maximum probability is maintained
+// exactly (with a lazy rescan when the last copy of the running maximum is
+// removed), and any sum-based rule whose comparison falls inside the
+// maintained drift bound triggers a from-scratch re-accumulation in slot
+// order, after which the comparison floats are bitwise the from-scratch
+// ones.
+func (d *Dist) Choose(h Hyper) Method {
+	if d.live == 0 {
+		return MethodDP
+	}
+	if d.live >= h.A {
+		return MethodCLT
+	}
+	if d.maxDirty {
+		d.rescanAgg()
+	}
+	if m, ok := d.chooseMaintained(h); ok {
+		return m
+	}
+	d.rescanAgg()
+	m, _ := d.chooseMaintained(h) // margin is now 0: every rule decides
+	return m
+}
+
+// chooseMaintained evaluates rules 2-5 of the Choose chain from the
+// maintained aggregates; ok reports false when a comparison falls inside the
+// drift margin and only a rescan can decide it bit-compatibly.
+func (d *Dist) chooseMaintained(h Hyper) (Method, bool) {
+	c := d.live
+	if c < h.B && d.maxP < h.C {
+		return MethodPoisson, true // maxP is exact, the comparison always decides
+	}
+	M := d.aggMargin()
+	if M > 0 {
+		if diff := d.sumSq - 1; diff <= M && diff >= -M {
+			return 0, false
+		}
+	}
+	if d.sumSq > 1 {
+		return MethodTranslatedPoisson, true
+	}
+	pBin := d.sumP / float64(c)
+	binVar := float64(c) * pBin * (1 - pBin)
+	if M > 0 {
+		// A µ perturbation of M moves binVar by at most |1−2µ/c|·M ≤ M for
+		// µ ∈ [0, c]; 2M adds slack for µ drifting marginally outside.
+		dbv := 2 * M
+		if binVar <= dbv {
+			return 0, false // the sign of binVar is inside the margin
+		}
+		r := d.sumPQ / binVar
+		rm := 2 * ((M + r*dbv) / binVar)
+		if diff := r - h.D; diff <= rm && diff >= -rm {
+			return 0, false
+		}
+	}
+	if binVar > 0 && d.sumPQ/binVar >= h.D {
+		return MethodBinomial, true
+	}
+	return MethodDP, true
 }
 
 // rebuild recomputes the truncated pmf from scratch over the live factors in

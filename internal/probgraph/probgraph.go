@@ -139,11 +139,8 @@ func (pg *Graph) WorldProb(w *graph.Graph) float64 {
 // SampleWorld draws one possible world: each edge is kept independently with
 // its probability, using rng. Edges are examined in canonical (U, V) order —
 // part of the determinism contract, since a world's content is a function of
-// the rng stream alone — and the world is assembled CSR-directly (count,
-// prefix-sum, fill), without the Builder's hash map: processing edges in
-// (U, V) order appends every vertex's back-neighbours (from edges where it
-// is V) before its forward ones, each run ascending, so adjacency comes out
-// sorted for free.
+// the rng stream alone — and the world is assembled CSR-directly by
+// graph.FromSortedEdges, without the Builder's hash map.
 func (pg *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
 	kept := make([]graph.Edge, 0, len(pg.edges))
 	for _, e := range pg.edges {
@@ -151,13 +148,12 @@ func (pg *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
 			kept = append(kept, graph.Edge{U: e.U, V: e.V})
 		}
 	}
-	offs, adj, _ := csrFromSortedEdges(pg.NumVertices(), kept, nil)
-	return graph.FromCSR(offs, adj)
+	return graph.FromSortedEdges(pg.NumVertices(), kept)
 }
 
-// csrFromSortedEdges lays out canonical (U, V)-sorted edges as CSR adjacency.
-// When probs is non-nil it is filled per directed edge from the per-edge
-// values in ps (parallel to es).
+// csrFromSortedEdges lays out canonical (U, V)-sorted edges as CSR adjacency
+// with the per-edge values of ps (parallel to es) replicated onto both
+// directed entries. It is graph.FromSortedEdges plus the probability array.
 func csrFromSortedEdges(n int, es []graph.Edge, ps []float64) (offs, adj []int32, probs []float64) {
 	offs = make([]int32, n+1)
 	for _, e := range es {
@@ -168,16 +164,12 @@ func csrFromSortedEdges(n int, es []graph.Edge, ps []float64) (offs, adj []int32
 		offs[i+1] += offs[i]
 	}
 	adj = make([]int32, 2*len(es))
-	if ps != nil {
-		probs = make([]float64, 2*len(es))
-	}
+	probs = make([]float64, 2*len(es))
 	fill := make([]int32, n)
 	for i, e := range es {
 		pu, pv := offs[e.U]+fill[e.U], offs[e.V]+fill[e.V]
 		adj[pu], adj[pv] = e.V, e.U
-		if ps != nil {
-			probs[pu], probs[pv] = ps[i], ps[i]
-		}
+		probs[pu], probs[pv] = ps[i], ps[i]
 		fill[e.U]++
 		fill[e.V]++
 	}

@@ -6,9 +6,10 @@
 #   - BenchmarkFig4LocalDP rows: commit ae2043f, before the Poisson-binomial
 #     support maintenance became incremental and the peeling hot path
 #     allocation-free (PR 2).
-#   - BenchmarkGlobal / BenchmarkWeak rows: commit d85b5fb, before the
-#     global/weak candidate pipeline moved to arena growth, shared
-#     triangle-index views, and the persistent shared pool (PR 3).
+#   - BenchmarkGlobal / BenchmarkWeak rows: commit bfdd6f3, before the
+#     shared-world validation engine — per-candidate world resampling and
+#     full per-world bucket-queue peels (krogan/dblp/flickr measured at that
+#     commit on the current runner, with flickr added to the benchmark set).
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -47,10 +48,12 @@ BenchmarkFig4LocalDP/biomine/theta=0.1 924832107 232489888 1521332
 BenchmarkFig4LocalDP/biomine/theta=0.4 1073464984 220290472 1648891
 BenchmarkFig4LocalDP/ljournal/theta=0.1 586488262 113521992 1234722
 BenchmarkFig4LocalDP/ljournal/theta=0.4 412014880 68927416 877389
-BenchmarkGlobal/krogan 2817751819 1711151210 10240197
-BenchmarkGlobal/dblp 24640207609 20229688784 45148847
-BenchmarkWeak/krogan 98074541 25033717 91291
-BenchmarkWeak/dblp 444914894 111093912 185858
+BenchmarkGlobal/krogan 665668847 183887098 688561
+BenchmarkGlobal/dblp 4807672478 2330736901 3088758
+BenchmarkGlobal/flickr 62448413945 9144787122 18425210
+BenchmarkWeak/krogan 89792720 1991986 4331
+BenchmarkWeak/dblp 456305191 8591304 6433
+BenchmarkWeak/flickr 9014772177 67287888 1585
 BASE
 
 echo "==> go test -bench $pattern -benchmem -benchtime $benchtime"
@@ -80,8 +83,8 @@ END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"baseline_commit\": \"ae2043f (local rows) / d85b5fb (global+weak rows)\",\n"
-    printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-arena candidate pipeline (map-based closure growth, per-world TriangleIndex rebuilds, per-call pools)\",\n"
+    printf "  \"baseline_commit\": \"ae2043f (local rows) / bfdd6f3 (global+weak rows)\",\n"
+    printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-shared-world engine (per-candidate world resampling, full per-world bucket-queue peels)\",\n"
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]

@@ -5,11 +5,21 @@
 # checks that exercise the parallel decomposition engine: `go vet` over every
 # package and the full test suite under the race detector. The differential
 # tests in internal/core, internal/graph, and internal/mc run the worker
-# pools at 1/2/8 workers, so `go test -race` drives every concurrent path.
+# pools at 1/2/8 workers, so `go test -race` drives every concurrent path,
+# including the shared-world validation loop and its parallel min-tail
+# reduction.
+#
+# The test suite includes the shared-world steady-state allocation gates
+# (internal/core/arena_test.go: validating one more candidate — index
+# restriction, per-world predicate, min-tail reduction, weak seed rebind +
+# loss cascade — must allocate nothing), so a single `go test` run asserts
+# them. `goldendump -check` then verifies the global/weak golden snapshot
+# through the same command that regenerates it (drop -check after an
+# intentional semantic change).
 #
 # It finishes with scripts/bench.sh in short mode (1 benchmark iteration) so
 # every CI run refreshes BENCH_local.json's allocs/op numbers — for the local
-# peeling benchmarks and for the global/weak candidate pipeline
+# peeling benchmarks and for the shared-world global/weak pipeline
 # (BenchmarkGlobal/BenchmarkWeak) — which are deterministic and therefore
 # catch allocation regressions even at -benchtime 1x. Set CI_BENCH=0 to skip.
 #
@@ -31,6 +41,9 @@ go test "$pkgs"
 
 echo "==> go test -race $pkgs"
 go test -race "$pkgs"
+
+echo "==> goldendump -check (global/weak snapshot)"
+go run ./cmd/goldendump -check
 
 if [ "${CI_BENCH:-1}" = 1 ]; then
 	echo "==> scripts/bench.sh (short mode)"
