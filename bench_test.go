@@ -6,6 +6,7 @@
 package probnucleus_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -163,6 +164,43 @@ func BenchmarkWeak(b *testing.B) {
 	benchGlobalWeak(b, func(g *pn.Graph, opts pn.MCOptions) error {
 		_, err := pn.WeaklyGlobalNuclei(g, 1, 0.001, opts)
 		return err
+	})
+}
+
+// BenchmarkEngineReuse measures what a long-lived Engine buys a server over
+// the per-call path: the engine sub-benchmark reissues the same global
+// request against one warm shard — parked worker team, reused world-mask
+// bank backing at a fixed (ε,δ) — while per-call pays a fresh pool and bank
+// every iteration. ReportAllocs is the regression gate; scripts/bench.sh
+// records both rows in BENCH_local.json.
+func BenchmarkEngineReuse(b *testing.B) {
+	g := benchGraph("krogan", 0.04)
+	local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("engine", func(b *testing.B) {
+		eng := pn.NewEngine(1, 1)
+		defer eng.Close()
+		ctx := context.Background()
+		req := pn.NucleiRequest{K: 1, Theta: 0.001, Samples: 100, Seed: 1, Local: local}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Global(ctx, g, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-call", func(b *testing.B) {
+		opts := pn.MCOptions{Samples: 100, Seed: 1, Local: local, Workers: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pn.GlobalNuclei(g, 1, 0.001, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -10,7 +10,11 @@
 //	nudecomp -dataset dblp -theta 0.3 -workers 8          # bounded worker pool
 //
 // -workers bounds the parallel execution engine (0 = all cores, 1 = serial);
-// every mode produces identical output for every worker count.
+// every mode produces identical output for every worker count. All modes run
+// through a one-shard probnucleus.Engine, and -timeout bounds the
+// decomposition with a cancellation context:
+//
+//	nudecomp -dataset biomine -theta 0.001 -mode weak -timeout 30s
 //
 // -cpuprofile and -memprofile write pprof profiles of the decomposition
 // phase (graph loading excluded), so hot-path regressions are diagnosable
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +47,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
 		top     = flag.Int("top", 5, "print at most this many nuclei per level")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+		timeout = flag.Duration("timeout", 0, "abort the decomposition after this long (0 = no limit)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the decomposition to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile taken after the decomposition to this file")
 	)
@@ -76,6 +82,17 @@ func main() {
 		}
 	}
 
+	// One-shard engine: identical results to the package-level functions,
+	// plus the context hook -timeout needs.
+	eng := pn.NewEngine(1, *workers)
+	defer eng.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// Decomposition errors are collected rather than fatal()'d so the CPU
 	// profile is flushed even on failure — the very run where it is wanted.
 	var runErr error
@@ -85,21 +102,21 @@ func main() {
 		if *mode == "ap" {
 			m = pn.ModeAP
 		}
-		res, err := pn.LocalDecompose(pg, *theta, pn.Options{Mode: m, Workers: *workers})
+		res, err := eng.Local(ctx, pg, pn.LocalRequest{Theta: *theta, Mode: m})
 		if err != nil {
 			runErr = err
 			break
 		}
 		printLocal(res, *top)
 	case "global":
-		nuclei, err := pn.GlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
+		nuclei, err := eng.Global(ctx, pg, pn.NucleiRequest{K: *k, Theta: *theta, Samples: *samples, Seed: *seed})
 		if err != nil {
 			runErr = err
 			break
 		}
 		printProbNuclei("g", nuclei, *k, *theta, *top)
 	case "weak":
-		nuclei, err := pn.WeaklyGlobalNuclei(pg, *k, *theta, pn.MCOptions{Samples: *samples, Seed: *seed, Workers: *workers})
+		nuclei, err := eng.Weak(ctx, pg, pn.NucleiRequest{K: *k, Theta: *theta, Samples: *samples, Seed: *seed})
 		if err != nil {
 			runErr = err
 			break

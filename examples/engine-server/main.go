@@ -1,0 +1,164 @@
+// Engine server: a minimal HTTP front end answering concurrent
+// decomposition queries over one probnucleus.Engine — the serving shape the
+// engine was designed for. Every request checks out a shard under a
+// per-request timeout context; cancelled or expired requests return 504 and
+// release their shard promptly, malformed parameters are rejected with 400
+// via the sentinel errors, and concurrent queries across the three
+// semantics never block the whole process behind one big decomposition.
+//
+// Run it and issue concurrent queries:
+//
+//	go run ./examples/engine-server -dataset krogan -scale 0.04 &
+//	curl 'localhost:8080/local?theta=0.3&mode=ap'
+//	curl 'localhost:8080/nuclei?semantics=global&k=1&theta=0.001&samples=100' &
+//	curl 'localhost:8080/nuclei?semantics=weak&k=1&theta=0.001&samples=100' &
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	pn "probnucleus"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		name    = flag.String("dataset", "krogan", "simulated dataset to serve")
+		scale   = flag.Float64("scale", 0.04, "dataset scale")
+		shards  = flag.Int("shards", 2, "engine shards (max concurrent decompositions)")
+		workers = flag.Int("workers", 0, "workers per shard (0 = all cores)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	pg := pn.MustDataset(*name, *scale)
+	eng := pn.NewEngine(*shards, *workers)
+	defer eng.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/local", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), *timeout)
+		defer cancel()
+		q := query{r: r}
+		req := pn.LocalRequest{Theta: q.float("theta", 0.3)}
+		if q.err != nil {
+			http.Error(w, q.err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("mode") == "ap" {
+			req.Mode = pn.ModeAP
+		}
+		res, err := eng.Local(ctx, pg, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		maxK := res.MaxNucleusness()
+		writeJSON(w, map[string]any{
+			"theta":          res.Theta,
+			"triangles":      len(res.Nucleusness),
+			"maxNucleusness": maxK,
+			"nucleiAtMax":    len(res.NucleiForK(maxK)),
+		})
+	})
+	mux.HandleFunc("/nuclei", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), *timeout)
+		defer cancel()
+		q := query{r: r}
+		req := pn.NucleiRequest{
+			K:       int(q.float("k", 1)),
+			Theta:   q.float("theta", 0.3),
+			Samples: int(q.float("samples", 0)),
+			Eps:     q.float("eps", 0),
+			Delta:   q.float("delta", 0),
+			Seed:    int64(q.float("seed", 1)),
+		}
+		if q.err != nil {
+			http.Error(w, q.err.Error(), http.StatusBadRequest)
+			return
+		}
+		var (
+			nuclei []pn.ProbNucleus
+			err    error
+		)
+		switch sem := r.URL.Query().Get("semantics"); sem {
+		case "", "global":
+			nuclei, err = eng.Global(ctx, pg, req)
+		case "weak":
+			nuclei, err = eng.Weak(ctx, pg, req)
+		default:
+			http.Error(w, "semantics must be global or weak, got "+strconv.Quote(sem), http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		summaries := make([]map[string]any, len(nuclei))
+		for i, n := range nuclei {
+			summaries[i] = map[string]any{
+				"vertices":  len(n.Vertices),
+				"edges":     len(n.Edges),
+				"triangles": len(n.Triangles),
+				"minProb":   n.MinProb,
+			}
+		}
+		writeJSON(w, map[string]any{"k": req.K, "theta": req.Theta, "nuclei": summaries})
+	})
+
+	log.Printf("serving %s (%d edges) on http://%s — %d shards × %d workers, %v timeout",
+		*name, pg.NumEdges(), *addr, eng.Shards(), eng.Workers(), *timeout)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// writeError maps engine failures onto HTTP statuses: validation failures
+// (the sentinel errors) are the client's fault, expired or abandoned
+// contexts are timeouts, anything else is a server error.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pn.ErrTheta), errors.Is(err, pn.ErrNegativeK), errors.Is(err, pn.ErrBadSampleSpec):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// query parses numeric URL parameters, remembering the first failure so a
+// typo'd parameter becomes a 400 instead of being silently replaced by its
+// default.
+type query struct {
+	r   *http.Request
+	err error
+}
+
+func (q *query) float(key string, def float64) float64 {
+	s := q.r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		if q.err == nil {
+			q.err = fmt.Errorf("parameter %s=%q is not a number", key, s)
+		}
+		return def
+	}
+	return v
+}

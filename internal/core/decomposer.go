@@ -1,58 +1,92 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
+
 	"probnucleus/internal/graph"
-	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
 
 // Decomposer bundles the three decomposition entry points around one
-// persistent worker pool: the local pruning phase, Monte-Carlo possible-
-// world sampling, and global/weak candidate validation all run on the same
-// parked goroutine team. A server answering many small decomposition
-// requests holds one Decomposer instead of paying a pool spawn-and-teardown
-// per call; results are identical to the package-level functions for every
-// worker count.
+// persistent worker pool: repeated decompositions reuse the same parked
+// goroutine team — and the same world-mask bank backing — across the local
+// pruning phase, possible-world sampling, and candidate validation. It is a
+// thin wrapper over a one-shard Engine, kept for callers that want the
+// plain Options/MCOptions surface without contexts; results are identical
+// to the package-level functions.
 //
-// A Decomposer is driven by one goroutine at a time (the pool's helpers are
-// single-caller). Close releases the pool; the Decomposer must not be used
-// afterwards.
+// A Decomposer is driven by one goroutine at a time. Concurrent entry is
+// misuse and panics with a clear message instead of silently corrupting the
+// shard's scratch — servers wanting concurrent requests hold an Engine with
+// more than one shard instead. Call Close when done.
 type Decomposer struct {
-	pool *par.Pool
+	eng *Engine
+	// busy flags an in-flight call; entering while set is the concurrent-use
+	// misuse the type documents away.
+	busy atomic.Bool
 }
 
-// NewDecomposer creates a decomposer over a persistent pool with the given
-// worker count (0 means all available parallelism, 1 fully serial).
+// NewDecomposer creates a decomposer over a persistent one-shard engine with
+// the given worker count (0 means all available parallelism, 1 fully
+// serial).
 func NewDecomposer(workers int) *Decomposer {
-	return &Decomposer{pool: par.NewPool(workers)}
+	return &Decomposer{eng: NewEngine(1, workers)}
 }
 
-// Workers returns the resolved worker count of the underlying pool.
-func (d *Decomposer) Workers() int { return d.pool.Workers() }
+// enter flags the decomposer busy for the duration of one call. Overlapping
+// entry panics — deliberately loudly, because two goroutines sharing the
+// shard's scratch would corrupt results silently otherwise.
+func (d *Decomposer) enter(method string) {
+	if !d.busy.CompareAndSwap(false, true) {
+		panic("probnucleus: " + method + " called on a Decomposer already serving another call; " +
+			"a Decomposer is single-caller — use an Engine for concurrent requests")
+	}
+}
 
-// Close releases the pool's helper goroutines.
-func (d *Decomposer) Close() { d.pool.Close() }
+func (d *Decomposer) exit() { d.busy.Store(false) }
 
-// LocalDecompose is core.LocalDecompose on the decomposer's pool.
+// Workers returns the resolved worker count of the underlying shard.
+func (d *Decomposer) Workers() int { return d.eng.Workers() }
+
+// Close releases the shard's helper goroutines. The Decomposer must not be
+// used afterwards.
+func (d *Decomposer) Close() {
+	d.enter("Close")
+	defer d.exit()
+	d.eng.Close()
+}
+
+// LocalDecompose is core.LocalDecompose on the decomposer's shard.
 func (d *Decomposer) LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
-	opts.Pool = d.pool
-	return LocalDecompose(pg, theta, opts)
+	d.enter("LocalDecompose")
+	defer d.exit()
+	return d.eng.Local(context.Background(), pg, localRequest(theta, opts))
 }
 
-// InitialKappa is core.InitialKappa on the decomposer's pool.
+// InitialKappa is core.InitialKappa on the decomposer's shard.
 func (d *Decomposer) InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.TriangleIndex, []int, error) {
-	opts.Pool = d.pool
+	d.enter("InitialKappa")
+	defer d.exit()
+	s, err := d.eng.acquire(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer d.eng.release(s)
+	opts.Pool = s.pool
 	return InitialKappa(pg, theta, opts)
 }
 
-// GlobalNuclei is core.GlobalNuclei on the decomposer's pool.
+// GlobalNuclei is core.GlobalNuclei on the decomposer's shard.
 func (d *Decomposer) GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
-	opts.Pool = d.pool
-	return GlobalNuclei(pg, k, theta, opts)
+	d.enter("GlobalNuclei")
+	defer d.exit()
+	return d.eng.Global(context.Background(), pg, nucleiRequest(k, theta, opts))
 }
 
-// WeaklyGlobalNuclei is core.WeaklyGlobalNuclei on the decomposer's pool.
+// WeaklyGlobalNuclei is core.WeaklyGlobalNuclei on the decomposer's shard.
 func (d *Decomposer) WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
-	opts.Pool = d.pool
-	return WeaklyGlobalNuclei(pg, k, theta, opts)
+	d.enter("WeaklyGlobalNuclei")
+	defer d.exit()
+	return d.eng.Weak(context.Background(), pg, nucleiRequest(k, theta, opts))
 }

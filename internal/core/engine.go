@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+
+	"probnucleus/internal/mc"
+	"probnucleus/internal/par"
+	"probnucleus/internal/pbd"
+	"probnucleus/internal/probgraph"
+)
+
+// LocalRequest parameterizes Engine.Local: one ℓ-NuDecomp query. It is the
+// request-struct face of Options — the fields a serving caller chooses per
+// query, without the pool plumbing.
+type LocalRequest struct {
+	// Theta is the probability threshold θ of the decomposition.
+	Theta float64
+	// Mode selects exact DP or approximate AP support evaluation.
+	Mode Mode
+	// Hyper holds the AP selection hyperparameters; zero value means
+	// pbd.DefaultHyper.
+	Hyper pbd.Hyper
+	// MethodCounts, when non-nil, accumulates per-method query tallies (AP
+	// instrumentation). The map is written by the serving shard, so share one
+	// map across concurrent requests only with external synchronization.
+	MethodCounts map[pbd.Method]int
+}
+
+// Validate reports whether the request is well-formed without running it;
+// Engine.Local calls it first, and failures match the package's sentinel
+// errors via errors.Is.
+func (r LocalRequest) Validate() error {
+	if !(r.Theta > 0 && r.Theta <= 1) {
+		return errTheta(r.Theta)
+	}
+	return nil
+}
+
+// NucleiRequest parameterizes Engine.Global and Engine.Weak: one g- or
+// w-NuDecomp query. It unifies the (k, θ) call arguments and the MCOptions
+// sampling knobs of the package-level functions into a single validated
+// request struct.
+type NucleiRequest struct {
+	// K is the nucleus level.
+	K int
+	// Theta is the probability threshold θ.
+	Theta float64
+	// Eps and Delta size the Monte-Carlo sample by the Hoeffding bound
+	// ⌈ln(2/δ)/(2ε²)⌉ when Samples is zero; each defaults to 0.1 when zero.
+	Eps   float64
+	Delta float64
+	// Samples, when positive, fixes the possible-world count directly.
+	Samples int
+	// Seed roots the world PRNG streams; estimates depend only on it, never
+	// on the shard's worker count.
+	Seed int64
+	// Local optionally supplies a precomputed exact local decomposition at
+	// Theta to prune the search space; when nil it is computed per request.
+	Local *LocalResult
+}
+
+// Validate reports whether the request is well-formed without running it;
+// Engine.Global and Engine.Weak call it first, and failures match the
+// package's sentinel errors via errors.Is.
+func (r NucleiRequest) Validate() error {
+	// k first: the pinned validation order reports a negative k even when θ
+	// is also out of range (see TestNegativeKRejectedBeforeWork).
+	if r.K < 0 {
+		return errNegativeK(r.K)
+	}
+	if !(r.Theta > 0 && r.Theta <= 1) {
+		return errTheta(r.Theta)
+	}
+	return r.mcOptions(nil, nil).validateSampleSpec()
+}
+
+// mcOptions lowers the request onto a shard's pool and world-mask bank.
+func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank) MCOptions {
+	return MCOptions{
+		Eps:     r.Eps,
+		Delta:   r.Delta,
+		Samples: r.Samples,
+		Seed:    r.Seed,
+		Local:   r.Local,
+		Pool:    pool,
+		Bank:    bank,
+	}
+}
+
+// Engine is the concurrent-safe serving surface over the three decomposition
+// semantics: a fixed set of shards — each owning a persistent worker pool,
+// the peeling/validation scratch that grows inside it, and a reusable
+// world-mask bank (mc.Bank, re-grown but never re-allocated across calls at
+// the same (ε,δ)) — dispatched to callers through a free list. N goroutines
+// may issue mixed Local/Global/Weak requests simultaneously; at most
+// Shards() of them decompose at once while the rest wait on the free list or
+// their contexts.
+//
+// Results are byte-identical to the package-level functions for every shard
+// and worker count. Cancellation is checked between worker-pool chunks and
+// Monte-Carlo world batches: a cancelled call returns ctx.Err() promptly and
+// its shard goes straight back on the free list, reusable.
+type Engine struct {
+	free   chan *engineShard
+	shards []*engineShard
+	// closed is closed by Close so acquirers blocked on the free list fail
+	// with ErrEngineClosed instead of waiting forever for shards that will
+	// never return.
+	closed chan struct{}
+}
+
+// engineShard is one unit of serving capacity: a parked worker team plus the
+// reusable per-shard state of a decomposition call. A shard serves one
+// request at a time; the free list enforces that.
+type engineShard struct {
+	pool *par.Pool
+	bank mc.Bank
+}
+
+// NewEngine creates an engine with the given number of shards (values < 1
+// mean one) of workersPerShard workers each (0 = all cores, 1 = serial).
+// Shards bound request concurrency and workersPerShard bounds per-request
+// parallelism; serving setups typically pick shards × workersPerShard ≈
+// GOMAXPROCS — many small shards for throughput under heavy concurrent
+// traffic, few wide shards for the latency of individual big queries.
+func NewEngine(shards, workersPerShard int) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
+	e := &Engine{
+		free:   make(chan *engineShard, shards),
+		shards: make([]*engineShard, shards),
+		closed: make(chan struct{}),
+	}
+	for i := range e.shards {
+		s := &engineShard{pool: par.NewPool(workersPerShard)}
+		e.shards[i] = s
+		e.free <- s
+	}
+	return e
+}
+
+// Shards returns the number of shards — the maximum number of requests the
+// engine serves simultaneously.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Workers returns the per-shard worker count.
+func (e *Engine) Workers() int { return e.shards[0].pool.Workers() }
+
+// Close waits for in-flight requests to finish, then releases every shard's
+// worker team. Requests still waiting for a shard fail with ErrEngineClosed
+// (a request that wins the race for a releasing shard is still served).
+// Close must be called exactly once; the engine must not be used afterwards.
+func (e *Engine) Close() {
+	close(e.closed)
+	for range e.shards {
+		s := <-e.free
+		s.pool.Close()
+	}
+}
+
+// acquire checks out a free shard bound to ctx; it fails with ctx.Err()
+// when the context is cancelled — or ErrEngineClosed when the engine is
+// closed — before a shard frees up.
+func (e *Engine) acquire(ctx context.Context) (*engineShard, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var s *engineShard
+	select {
+	case s = <-e.free:
+	default:
+		select {
+		case s = <-e.free:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-e.closed:
+			return nil, ErrEngineClosed
+		}
+	}
+	s.pool.Bind(ctx)
+	return s, nil
+}
+
+// release unbinds the shard's context and returns it to the free list.
+func (e *Engine) release(s *engineShard) {
+	s.pool.Bind(nil)
+	e.free <- s
+}
+
+// Local answers one ℓ-NuDecomp request on a free shard. The result is
+// byte-identical to LocalDecompose at the same θ/Mode/Hyper; a cancelled ctx
+// makes it return ctx.Err() instead.
+func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalRequest) (*LocalResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release(s)
+	return localDecompose(pg, req.Theta, Options{
+		Mode:         req.Mode,
+		Hyper:        req.Hyper,
+		MethodCounts: req.MethodCounts,
+		Pool:         s.pool,
+	})
+}
+
+// Global answers one g-NuDecomp request on a free shard, sampling its
+// possible worlds into the shard's reusable mask bank. The result is
+// byte-identical to GlobalNuclei with the same parameters; a cancelled ctx
+// makes it return ctx.Err() instead.
+func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release(s)
+	return globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank))
+}
+
+// Weak answers one w-NuDecomp request on a free shard, sampling its possible
+// worlds into the shard's reusable mask bank. The result is byte-identical
+// to WeaklyGlobalNuclei with the same parameters; a cancelled ctx makes it
+// return ctx.Err() instead.
+func (e *Engine) Weak(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release(s)
+	return weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank))
+}

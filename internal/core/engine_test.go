@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"probnucleus/internal/dataset"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/probgraph"
+)
+
+// engineCase is one (graph, k, θ, sampling) workload plus its package-level
+// reference results, shared by the differential and stress tests.
+type engineCase struct {
+	name    string
+	pg      *probgraph.Graph
+	k       int
+	theta   float64
+	samples int
+	seed    int64
+
+	wantLocal []int // Nucleusness of the serial LocalDecompose
+	wantGlob  []ProbNucleus
+	wantWeak  []ProbNucleus
+}
+
+func engineCases(t testing.TB) []engineCase {
+	cases := []engineCase{
+		{name: "fig1", pg: fixtures.Fig1(), k: 1, theta: 0.35, samples: 300, seed: 5},
+		{name: "k5", pg: fixtures.Fig3cK5(), k: 2, theta: 0.01, samples: 200, seed: 7},
+		{name: "krogan", pg: dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04))),
+			k: 1, theta: 0.001, samples: 60, seed: 1},
+	}
+	for i := range cases {
+		c := &cases[i]
+		local, err := LocalDecompose(c.pg, c.theta, Options{Mode: ModeDP, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.wantLocal = local.Nucleusness
+		opts := MCOptions{Samples: c.samples, Seed: c.seed, Workers: 1}
+		if c.wantGlob, err = GlobalNuclei(c.pg, c.k, c.theta, opts); err != nil {
+			t.Fatal(err)
+		}
+		if c.wantWeak, err = WeaklyGlobalNuclei(c.pg, c.k, c.theta, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cases
+}
+
+// checkEngineCase runs all three semantics for c on eng and byte-compares
+// each result against the package-level reference.
+func checkEngineCase(ctx context.Context, eng *Engine, c engineCase) error {
+	local, err := eng.Local(ctx, c.pg, LocalRequest{Theta: c.theta})
+	if err != nil {
+		return fmt.Errorf("%s: engine local: %w", c.name, err)
+	}
+	if !reflect.DeepEqual(local.Nucleusness, c.wantLocal) {
+		return fmt.Errorf("%s: engine local nucleusness differs from LocalDecompose", c.name)
+	}
+	req := NucleiRequest{K: c.k, Theta: c.theta, Samples: c.samples, Seed: c.seed}
+	glob, err := eng.Global(ctx, c.pg, req)
+	if err != nil {
+		return fmt.Errorf("%s: engine global: %w", c.name, err)
+	}
+	if !reflect.DeepEqual(glob, c.wantGlob) {
+		return fmt.Errorf("%s: engine global nuclei differ from GlobalNuclei", c.name)
+	}
+	weak, err := eng.Weak(ctx, c.pg, req)
+	if err != nil {
+		return fmt.Errorf("%s: engine weak: %w", c.name, err)
+	}
+	if !reflect.DeepEqual(weak, c.wantWeak) {
+		return fmt.Errorf("%s: engine weak nuclei differ from WeaklyGlobalNuclei", c.name)
+	}
+	return nil
+}
+
+// TestEngineMatchesPackageFunctions: every (shard count, worker count)
+// configuration must reproduce the package-level results byte-for-byte —
+// sharding is a dispatch concern, never a semantic one.
+func TestEngineMatchesPackageFunctions(t *testing.T) {
+	cases := engineCases(t)
+	for _, shards := range []int{1, 3} {
+		for _, workers := range []int{1, 2} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				eng := NewEngine(shards, workers)
+				defer eng.Close()
+				for _, c := range cases {
+					if err := checkEngineCase(context.Background(), eng, c); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineConcurrentStress: N goroutines issue mixed local/global/weak
+// requests against one shared Engine, every result byte-compared against the
+// package-level functions. Run under -race (scripts/ci.sh does), this is the
+// concurrency contract of the serving redesign: shard checkout makes mixed
+// traffic safe, and reuse across requests leaks nothing between callers.
+func TestEngineConcurrentStress(t *testing.T) {
+	cases := engineCases(t)
+	eng := NewEngine(3, 2)
+	defer eng.Close()
+	const goroutines = 8
+	const iters = 4
+	errc := make(chan error, goroutines*iters)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Walk the cases with a per-goroutine stride so shards see
+				// interleaved graph sizes, not convoys of the same request.
+				c := cases[(g+i)%len(cases)]
+				if err := checkEngineCase(context.Background(), eng, c); err != nil {
+					errc <- fmt.Errorf("goroutine %d iter %d: %w", g, i, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestEngineCancellationMidRun: cancelling a long request returns ctx.Err()
+// well before the uncancelled runtime, and the shard that served it goes
+// back on the free list fully reusable — the next uncancelled request still
+// matches the package-level result.
+func TestEngineCancellationMidRun(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04)))
+	eng := NewEngine(1, 2)
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	// Uncancelled, this request runs for many seconds (thousands of shared
+	// worlds over every candidate).
+	start := time.Now()
+	_, err := eng.Global(ctx, pg, NucleiRequest{K: 1, Theta: 0.001, Samples: 4000, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Global returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled Global took %v; cancellation did not propagate promptly", elapsed)
+	}
+
+	// Shard reuse after cancellation.
+	for _, c := range engineCases(t)[:1] {
+		if err := checkEngineCase(context.Background(), eng, c); err != nil {
+			t.Errorf("after cancellation: %v", err)
+		}
+	}
+}
+
+// TestEngineDeadline: a per-request timeout context surfaces as
+// context.DeadlineExceeded, the serving loop's usual shape.
+func TestEngineDeadline(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04)))
+	eng := NewEngine(1, 2)
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := eng.Weak(ctx, pg, NucleiRequest{K: 1, Theta: 0.001, Samples: 4000, Seed: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out Weak returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEngineCancelledBeforeCall: an already-cancelled context fails fast
+// without consuming a shard, and the engine stays usable.
+func TestEngineCancelledBeforeCall(t *testing.T) {
+	eng := NewEngine(1, 1)
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Local(ctx, fixtures.Fig1(), LocalRequest{Theta: 0.3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Local returned %v, want context.Canceled", err)
+	}
+	if _, err := eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3}); err != nil {
+		t.Fatalf("engine unusable after a pre-cancelled call: %v", err)
+	}
+}
+
+// TestEngineCloseUnblocksWaiters: a request still waiting for a shard when
+// Close runs fails with ErrEngineClosed instead of blocking forever on a
+// free list no shard will ever return to.
+func TestEngineCloseUnblocksWaiters(t *testing.T) {
+	eng := NewEngine(1, 1)
+	s, err := eng.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only shard is checked out, so this waiter blocks in acquire with
+	// a context that can never be cancelled.
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3})
+		waitErr <- err
+	}()
+	// Close concurrently; it blocks until the held shard is released.
+	closed := make(chan struct{})
+	go func() {
+		eng.Close()
+		close(closed)
+	}()
+	time.Sleep(10 * time.Millisecond) // let both goroutines reach their waits
+	eng.release(s)
+	<-closed
+	select {
+	case err := <-waitErr:
+		// The waiter either lost the shard race to Close (ErrEngineClosed)
+		// or won the releasing shard and was served before the pool closed.
+		if err != nil && !errors.Is(err, ErrEngineClosed) {
+			t.Errorf("waiter returned %v, want nil or ErrEngineClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after Close")
+	}
+}
+
+// TestEngineRejectsInvalidRequests: Validate gates every method, so a
+// malformed request never reaches a shard.
+func TestEngineRejectsInvalidRequests(t *testing.T) {
+	eng := NewEngine(1, 1)
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.Local(ctx, fixtures.Fig1(), LocalRequest{Theta: 0}); !errors.Is(err, ErrTheta) {
+		t.Errorf("Local theta=0: %v, want ErrTheta", err)
+	}
+	if _, err := eng.Global(ctx, fixtures.Fig1(), NucleiRequest{K: -1, Theta: 0.3}); !errors.Is(err, ErrNegativeK) {
+		t.Errorf("Global k=-1: %v, want ErrNegativeK", err)
+	}
+	if _, err := eng.Weak(ctx, fixtures.Fig1(), NucleiRequest{K: 1, Theta: 0.3, Samples: -2}); !errors.Is(err, ErrBadSampleSpec) {
+		t.Errorf("Weak samples=-2: %v, want ErrBadSampleSpec", err)
+	}
+}
+
+// TestDecomposerConcurrentMisusePanics: overlapping entry into the
+// single-caller Decomposer must panic with a clear message instead of
+// silently corrupting shard scratch.
+func TestDecomposerConcurrentMisusePanics(t *testing.T) {
+	d := NewDecomposer(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping Decomposer entry did not panic")
+		}
+		d.exit() // clear the first enter so Close can run
+		d.Close()
+	}()
+	d.enter("LocalDecompose")
+	d.enter("GlobalNuclei")
+}
+
+// TestSentinelErrors: every validation failure — package-level functions and
+// request Validate methods alike — matches its sentinel via errors.Is, and
+// well-formed requests validate clean.
+func TestSentinelErrors(t *testing.T) {
+	fig := fixtures.Fig1()
+	if _, err := LocalDecompose(fig, 0, Options{Workers: 1}); !errors.Is(err, ErrTheta) {
+		t.Errorf("LocalDecompose theta=0: %v, want ErrTheta", err)
+	}
+	if _, err := LocalDecompose(fig, 1.5, Options{Workers: 1}); !errors.Is(err, ErrTheta) {
+		t.Errorf("LocalDecompose theta=1.5: %v, want ErrTheta", err)
+	}
+	if _, _, err := InitialKappa(fig, -0.2, Options{Workers: 1}); !errors.Is(err, ErrTheta) {
+		t.Errorf("InitialKappa theta=-0.2: %v, want ErrTheta", err)
+	}
+	if _, err := GlobalNuclei(fig, -3, 0.3, MCOptions{Workers: 1}); !errors.Is(err, ErrNegativeK) {
+		t.Errorf("GlobalNuclei k=-3: %v, want ErrNegativeK", err)
+	}
+	if _, err := WeaklyGlobalNuclei(fig, -1, 0.3, MCOptions{Workers: 1}); !errors.Is(err, ErrNegativeK) {
+		t.Errorf("WeaklyGlobalNuclei k=-1: %v, want ErrNegativeK", err)
+	}
+	if _, err := GlobalNuclei(fig, 1, 0.3, MCOptions{Samples: -5, Workers: 1}); !errors.Is(err, ErrBadSampleSpec) {
+		t.Errorf("GlobalNuclei samples=-5: %v, want ErrBadSampleSpec", err)
+	}
+	if _, err := WeaklyGlobalNuclei(fig, 1, 0.3, MCOptions{Eps: -0.1, Workers: 1}); !errors.Is(err, ErrBadSampleSpec) {
+		t.Errorf("WeaklyGlobalNuclei eps=-0.1: %v, want ErrBadSampleSpec", err)
+	}
+	if _, err := GlobalNuclei(fig, 1, 0.3, MCOptions{Delta: 2, Workers: 1}); !errors.Is(err, ErrBadSampleSpec) {
+		t.Errorf("GlobalNuclei delta=2: %v, want ErrBadSampleSpec", err)
+	}
+
+	if err := (LocalRequest{Theta: 0}).Validate(); !errors.Is(err, ErrTheta) {
+		t.Errorf("LocalRequest.Validate theta=0: %v, want ErrTheta", err)
+	}
+	if err := (NucleiRequest{K: -1, Theta: 0.3}).Validate(); !errors.Is(err, ErrNegativeK) {
+		t.Errorf("NucleiRequest.Validate k=-1: %v, want ErrNegativeK", err)
+	}
+	if err := (NucleiRequest{K: 1, Theta: 0.3, Delta: 2}).Validate(); !errors.Is(err, ErrBadSampleSpec) {
+		t.Errorf("NucleiRequest.Validate delta=2: %v, want ErrBadSampleSpec", err)
+	}
+	if err := (LocalRequest{Theta: 0.5, Mode: ModeAP}).Validate(); err != nil {
+		t.Errorf("valid LocalRequest rejected: %v", err)
+	}
+	if err := (NucleiRequest{K: 2, Theta: 0.5, Eps: 0.2, Delta: 0.05}).Validate(); err != nil {
+		t.Errorf("valid NucleiRequest rejected: %v", err)
+	}
+}

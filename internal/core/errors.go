@@ -1,0 +1,30 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel validation errors shared by every decomposition entry point —
+// the package-level functions, the request Validate methods, and the Engine.
+// Call sites wrap them with the offending value (fmt.Errorf %w), so match
+// them with errors.Is; package probnucleus re-exports all three.
+var (
+	// ErrTheta reports a probability threshold θ outside (0,1].
+	ErrTheta = errors.New("theta outside (0,1]")
+	// ErrNegativeK reports a negative nucleus level k.
+	ErrNegativeK = errors.New("negative k")
+	// ErrBadSampleSpec reports an unusable Monte-Carlo sample specification:
+	// a negative explicit sample count, or ε/δ outside (0,1] when set.
+	ErrBadSampleSpec = errors.New("bad Monte-Carlo sample spec")
+	// ErrEngineClosed reports a request issued against a closed Engine.
+	ErrEngineClosed = errors.New("engine closed")
+)
+
+func errTheta(theta float64) error {
+	return fmt.Errorf("core: theta = %v: %w", theta, ErrTheta)
+}
+
+func errNegativeK(k int) error {
+	return fmt.Errorf("core: k = %d: %w", k, ErrNegativeK)
+}

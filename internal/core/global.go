@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 
@@ -34,15 +35,13 @@ type MCOptions struct {
 	// The same pool serves the internal LocalDecompose pruning phase and the
 	// per-candidate Monte-Carlo validation (see Decomposer).
 	Pool *par.Pool
-}
-
-// pool resolves the worker pool to run on: the caller-owned one when set, or
-// a fresh pool (owned reports true) the caller of pool() must close.
-func (o MCOptions) pool() (p *par.Pool, owned bool) {
-	if o.Pool != nil {
-		return o.Pool, false
-	}
-	return par.NewPool(o.Workers), true
+	// Bank, when non-nil, supplies the reusable backing the shared world-
+	// mask bank is drawn into, so repeated calls at the same (ε,δ) sample
+	// without allocating. It is shard plumbing and is consumed only together
+	// with Pool (the Engine sets both); with a nil Pool the call routes
+	// through a one-shot engine shard that owns its own bank and Bank is
+	// ignored. Leave nil outside engine internals; a private bank is used.
+	Bank *mc.Bank
 }
 
 func (o MCOptions) sampleCount() int {
@@ -57,6 +56,51 @@ func (o MCOptions) sampleCount() int {
 		delta = 0.1
 	}
 	return mc.SampleSize(eps, delta)
+}
+
+// validateSampleSpec checks the Monte-Carlo sample specification: Samples
+// must be non-negative, and when it is zero each of Eps/Delta must be either
+// zero (defaulted to 0.1) or inside (0,1] — the domain of the Hoeffding
+// bound. It is the error-returning counterpart of the panic in
+// mc.SampleSize, shared by NucleiRequest.Validate and the package-level
+// entry points.
+func (o MCOptions) validateSampleSpec() error {
+	if o.Samples < 0 {
+		return fmt.Errorf("core: samples = %d: %w", o.Samples, ErrBadSampleSpec)
+	}
+	if o.Samples == 0 {
+		if o.Eps != 0 && !(o.Eps > 0 && o.Eps <= 1) {
+			return fmt.Errorf("core: eps = %v: %w", o.Eps, ErrBadSampleSpec)
+		}
+		if o.Delta != 0 && !(o.Delta > 0 && o.Delta <= 1) {
+			return fmt.Errorf("core: delta = %v: %w", o.Delta, ErrBadSampleSpec)
+		}
+	}
+	return nil
+}
+
+// worldBank resolves the reusable bank the shared world stream is drawn
+// into: the caller-owned one when set, or a private per-call bank.
+func (o MCOptions) worldBank() *mc.Bank {
+	if o.Bank != nil {
+		return o.Bank
+	}
+	return new(mc.Bank)
+}
+
+// nucleiRequest lifts (k, θ) plus the sampling knobs of o into the request
+// struct the Engine serves — the bridge the thin package-level wrappers and
+// the legacy Decomposer cross.
+func nucleiRequest(k int, theta float64, o MCOptions) NucleiRequest {
+	return NucleiRequest{
+		K:       k,
+		Theta:   theta,
+		Eps:     o.Eps,
+		Delta:   o.Delta,
+		Samples: o.Samples,
+		Seed:    o.Seed,
+		Local:   o.Local,
+	}
 }
 
 // ProbNucleus is one probabilistic (k,θ)-nucleus produced by the global or
@@ -95,14 +139,35 @@ type ProbNucleus struct {
 // sorted scratch edge slice, deduplication hashes sorted triangle-id sets,
 // and each world is checked against a reusable restriction of the parent
 // triangle index instead of a per-world rebuild.
+//
+// With no caller-owned MCOptions.Pool, the call is a thin wrapper over a
+// one-shot one-shard Engine, so the package-level path and the served path
+// run the identical kernel.
 func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	if opts.Pool != nil {
+		return globalNuclei(pg, k, theta, opts)
+	}
+	req := nucleiRequest(k, theta, opts)
+	if err := req.Validate(); err != nil {
+		return nil, err // fail fast: no worker team for a malformed request
+	}
+	e := NewEngine(1, opts.Workers)
+	defer e.Close()
+	return e.Global(context.Background(), pg, req)
+}
+
+// globalNuclei is the GlobalNuclei kernel; it requires opts.Pool and runs
+// entirely on it. Cancellation of the pool's bound context is observed
+// between pool chunks, between Monte-Carlo world batches, and at every
+// candidate, returning ctx.Err().
+func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("core: negative k = %d", k)
+		return nil, errNegativeK(k)
 	}
-	pool, owned := opts.pool()
-	if owned {
-		defer pool.Close()
+	if err := opts.validateSampleSpec(); err != nil {
+		return nil, err
 	}
+	pool := opts.Pool
 	local := opts.Local
 	if local == nil {
 		var err error
@@ -122,12 +187,18 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 	// bitmasks.
 	union := appendTriangleEdges(nil, cand.ti, cand.triangles)
 	n := opts.sampleCount()
-	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+	masks, words := opts.worldBank().WorldMasks(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
 	est := newGlobalEstimator(pool, union, masks, words, n)
 	var out []ProbNucleus
 	var seen triSetDedup
 	var edges []graph.Edge
 	for _, seed := range cand.triangles {
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
 		closure := cand.closure(seed, k)
 		if !seen.insert(closure) {
 			continue
@@ -139,6 +210,11 @@ func GlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 			continue
 		}
 		out = append(out, buildProbNucleus(cand.ti, closure, k, theta, minProb))
+	}
+	// The last candidate may have been estimated against a half-filled world
+	// batch; one final check keeps cancelled calls from returning it.
+	if err := pool.Err(); err != nil {
+		return nil, err
 	}
 	sortNuclei(out)
 	return out, nil

@@ -12,7 +12,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"slices"
 
 	"probnucleus/internal/bucket"
@@ -57,8 +57,6 @@ type Options struct {
 	Pool *par.Pool
 }
 
-func (o Options) workerCount() int { return par.Workers(o.Workers) }
-
 // pool resolves the worker pool to run on: the caller-owned one when set, or
 // a fresh pool (owned reports true) the caller of pool() must close.
 func (o Options) pool() (p *par.Pool, owned bool) {
@@ -101,19 +99,51 @@ type LocalResult struct {
 // O(c·k), and the Dist's stability guard rebuilds from scratch whenever that
 // could change an answer — so the output is byte-identical to the
 // from-scratch scorer.
+//
+// With no caller-owned Options.Pool, the call is a thin wrapper over a
+// one-shot one-shard Engine, so the package-level path and the served path
+// run the identical kernel.
 func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
+	if opts.Pool != nil {
+		return localDecompose(pg, theta, opts)
+	}
+	req := localRequest(theta, opts)
+	if err := req.Validate(); err != nil {
+		return nil, err // fail fast: no worker team for a malformed request
+	}
+	e := NewEngine(1, opts.Workers)
+	defer e.Close()
+	return e.Local(context.Background(), pg, req)
+}
+
+// localRequest lifts θ plus the per-query fields of o into the request
+// struct the Engine serves — the bridge the thin package-level wrapper and
+// the legacy Decomposer cross.
+func localRequest(theta float64, o Options) LocalRequest {
+	return LocalRequest{
+		Theta:        theta,
+		Mode:         o.Mode,
+		Hyper:        o.Hyper,
+		MethodCounts: o.MethodCounts,
+	}
+}
+
+// localDecompose is the LocalDecompose kernel; it requires opts.Pool and
+// runs entirely on it. Cancellation of the pool's bound context is observed
+// between pool chunks and at every peeling step, returning ctx.Err().
+func localDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
 	if !(theta > 0 && theta <= 1) {
-		return nil, fmt.Errorf("core: theta = %v outside (0,1]", theta)
+		return nil, errTheta(theta)
 	}
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
-	pool, owned := opts.pool()
-	if owned {
-		defer pool.Close()
-	}
+	pool := opts.Pool
 	workers := pool.Workers()
 	ti := graph.NewTriangleIndexPool(pg.G, pool)
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
 	ca := decomp.NewCliqueAdjFromIndex(ti)
 	n := ti.Len()
 
@@ -142,6 +172,9 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		}
 		dists[t].InitBuffered(ps, pmfFlat[off[t]:off[t]:off[t+1]])
 	})
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
 
 	nu := make([]int, n)
 	scr := make([]scoreScratch, workers)
@@ -199,6 +232,9 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 		}
 		initK[t], initM[t] = score(t, &scr[w])
 	})
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
 	q := bucket.New(n, maxAliveCount(ca))
 	for t := int32(0); int(t) < n; t++ {
 		if nu[t] == -1 {
@@ -221,6 +257,12 @@ func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 	var nks []int
 	var nms []pbd.Method
 	for q.Len() > 0 {
+		// One cancellation check per peeling step: cheap next to the
+		// re-scoring it gates, and it bounds a cancelled call's overrun by a
+		// single step.
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
 		t, k, _ := q.Pop()
 		if k > floor {
 			floor = k
@@ -304,7 +346,7 @@ func (r *LocalResult) NucleiForK(k int) []decomp.Nucleus {
 // This is the quantity the exact enumeration oracle can validate directly.
 func InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.TriangleIndex, []int, error) {
 	if !(theta > 0 && theta <= 1) {
-		return nil, nil, fmt.Errorf("core: theta = %v outside (0,1]", theta)
+		return nil, nil, errTheta(theta)
 	}
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper

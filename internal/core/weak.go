@@ -2,12 +2,11 @@ package core
 
 import (
 	"cmp"
-	"fmt"
+	"context"
 	"slices"
 
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
-	"probnucleus/internal/mc"
 	"probnucleus/internal/probgraph"
 	"probnucleus/internal/uf"
 )
@@ -36,14 +35,35 @@ import (
 // index (no re-enumeration), per-world losses are counted into flat
 // per-triangle slots by reusable per-worker scorers, and scores are
 // recovered as worlds-minus-losses over the candidate core.
+//
+// With no caller-owned MCOptions.Pool, the call is a thin wrapper over a
+// one-shot one-shard Engine, so the package-level path and the served path
+// run the identical kernel.
 func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
+	if opts.Pool != nil {
+		return weaklyGlobalNuclei(pg, k, theta, opts)
+	}
+	req := nucleiRequest(k, theta, opts)
+	if err := req.Validate(); err != nil {
+		return nil, err // fail fast: no worker team for a malformed request
+	}
+	e := NewEngine(1, opts.Workers)
+	defer e.Close()
+	return e.Weak(context.Background(), pg, req)
+}
+
+// weaklyGlobalNuclei is the WeaklyGlobalNuclei kernel; it requires opts.Pool
+// and runs entirely on it. Cancellation of the pool's bound context is
+// observed between pool chunks, between Monte-Carlo world batches, and at
+// every candidate, returning ctx.Err().
+func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]ProbNucleus, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("core: negative k = %d", k)
+		return nil, errNegativeK(k)
 	}
-	pool, owned := opts.pool()
-	if owned {
-		defer pool.Close()
+	if err := opts.validateSampleSpec(); err != nil {
+		return nil, err
 	}
+	pool := opts.Pool
 	local := opts.Local
 	if local == nil {
 		var err error
@@ -63,7 +83,10 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	// candidate is a subgraph of it), sampled as one flat bank of edge
 	// bitmasks.
 	union := unionEdges(cands)
-	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+	masks, words := opts.worldBank().WorldMasks(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
 
 	var out []ProbNucleus
 	// losses[w][t]: number of shared worlds in which candidate triangle t
@@ -84,6 +107,9 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		}
 	}
 	for _, cand := range cands {
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
 		h := graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
 		hti := local.TI.SubIndex(h, &sub)
 		m := hti.Len()
@@ -114,6 +140,11 @@ func WeaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 			}
 		}
 		out = append(out, assembleWeakNuclei(hti, qual, k, theta)...)
+	}
+	// The last candidate may have been scored against a half-filled world
+	// batch; one final check keeps cancelled calls from returning it.
+	if err := pool.Err(); err != nil {
+		return nil, err
 	}
 	sortNuclei(out)
 	return out, nil

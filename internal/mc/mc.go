@@ -140,29 +140,76 @@ func ForEachWorldPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64, fn
 // world with O(1) bit tests instead of per-world adjacency binary searches
 // and per-world graph construction.
 func WorldMasksPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (masks []uint64, words int) {
+	var b Bank
+	return b.WorldMasks(pool, pg, n, seed)
+}
+
+// Bank is a reusable backing for shared world-mask banks. WorldMasks draws
+// exactly the bank WorldMasksPool draws — same PRNG streams, same mask
+// layout — but keeps the flat mask allocation and the per-worker PRNGs
+// across calls, growing them only when a call needs more than any call
+// before it ever did. A server answering many queries at the same (ε,δ) —
+// the world count is a function of (ε,δ) — over similarly-sized candidate
+// unions therefore reaches a steady state where drawing a fresh bank
+// allocates nothing; engine shards own one Bank each for exactly that.
+//
+// A Bank serves one call at a time, and the masks it returns alias its
+// backing: they are valid until the next WorldMasks call.
+type Bank struct {
+	buf  []uint64
+	rngs []*rand.Rand
+	fill func(worker, c int)
+	// Per-call parameters read by the hoisted fill closure (one closure per
+	// Bank, not one per call, keeping the steady state allocation-free).
+	edges []probgraph.ProbEdge
+	masks []uint64
+	words int
+	n     int
+	seed  int64
+}
+
+// WorldMasks is WorldMasksPool drawing into the Bank's reusable backing; see
+// the Bank documentation for the reuse and aliasing contract.
+func (b *Bank) WorldMasks(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (masks []uint64, words int) {
 	edges := pg.Edges()
 	words = (len(edges) + 63) / 64
 	if n <= 0 {
 		return nil, words
 	}
-	masks = make([]uint64, n*words)
-	chunks := (n + WorldChunk - 1) / WorldChunk
-	pool.ForWorker(chunks, func(_, c int) {
-		rng := rand.New(rand.NewSource(DeriveSeed(seed, c)))
-		lo := c * WorldChunk
-		hi := lo + WorldChunk
-		if hi > n {
-			hi = n
-		}
-		for i := lo; i < hi; i++ {
-			m := masks[i*words : (i+1)*words]
-			for e := range edges {
-				if rng.Float64() < edges[e].P {
-					m[e>>6] |= 1 << (uint(e) & 63)
+	if total := n * words; cap(b.buf) < total {
+		b.buf = make([]uint64, total)
+	}
+	for len(b.rngs) < pool.Workers() {
+		b.rngs = append(b.rngs, rand.New(rand.NewSource(0)))
+	}
+	if b.fill == nil {
+		b.fill = func(worker, c int) {
+			// Reseeding in place replays the exact stream rand.New with the
+			// same source seed would produce, so chunk c's worlds remain a
+			// function of DeriveSeed(seed, c) alone — never of which worker
+			// (or Bank generation) draws them.
+			rng := b.rngs[worker]
+			rng.Seed(DeriveSeed(b.seed, c))
+			lo := c * WorldChunk
+			hi := lo + WorldChunk
+			if hi > b.n {
+				hi = b.n
+			}
+			for i := lo; i < hi; i++ {
+				m := b.masks[i*b.words : (i+1)*b.words]
+				clear(m) // the backing is reused; stale bits must not survive
+				for e := range b.edges {
+					if rng.Float64() < b.edges[e].P {
+						m[e>>6] |= 1 << (uint(e) & 63)
+					}
 				}
 			}
 		}
-	})
+	}
+	b.edges, b.masks, b.words, b.n, b.seed = edges, b.buf[:n*words], words, n, seed
+	pool.ForWorker((n+WorldChunk-1)/WorldChunk, b.fill)
+	masks = b.masks
+	b.edges, b.masks = nil, nil // don't pin the caller's graph between calls
 	return masks, words
 }
 

@@ -171,3 +171,87 @@ func TestParallelWorldsStatistics(t *testing.T) {
 		t.Errorf("estimated edge probability = %v, want 0.35 ± 0.03", got)
 	}
 }
+
+// TestBankWorldMasksMatchesPool: a reused Bank must draw bit-identical banks
+// to the per-call WorldMasksPool path for every pool size and across calls
+// that grow, shrink, and reseed the bank — the in-place PRNG reseeding is
+// stream-equivalent to constructing fresh PRNGs.
+func TestBankWorldMasksMatchesPool(t *testing.T) {
+	pg := randomishProbGraph(24)
+	var bank Bank
+	pools := make([]*par.Pool, len(diffWorkerCounts))
+	for i, w := range diffWorkerCounts {
+		pools[i] = par.NewPool(w)
+		defer pools[i].Close()
+	}
+	cases := []struct {
+		n    int
+		seed int64
+	}{
+		{150, 42}, // multiple chunks with a ragged tail
+		{150, 43}, // same size, new streams
+		{40, 42},  // shrink within the backing
+		{200, 7},  // grow the backing
+	}
+	for _, c := range cases {
+		ref, words := WorldMasksPool(pools[0], pg, c.n, c.seed)
+		refCopy := append([]uint64(nil), ref...)
+		for i, pool := range pools {
+			got, gw := bank.WorldMasks(pool, pg, c.n, c.seed)
+			if gw != words {
+				t.Fatalf("n=%d seed=%d pool=%d: words = %d, want %d", c.n, c.seed, diffWorkerCounts[i], gw, words)
+			}
+			for j := range got {
+				if got[j] != refCopy[j] {
+					t.Fatalf("n=%d seed=%d pool=%d: mask word %d differs from per-call bank",
+						c.n, c.seed, diffWorkerCounts[i], j)
+				}
+			}
+		}
+	}
+}
+
+// TestBankWorldMasksMatchSampledWorlds: bit e of bank world i is set iff
+// edge e exists in the i-th materialized world of the same seed — masks and
+// graphs describe the same possible worlds.
+func TestBankWorldMasksMatchSampledWorlds(t *testing.T) {
+	pg := randomishProbGraph(24)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	const n, seed = 100, int64(9)
+	var bank Bank
+	masks, words := bank.WorldMasks(pool, pg, n, seed)
+	worlds := ParallelWorlds(pg, n, 1, seed)
+	edges := pg.Edges()
+	for i := 0; i < n; i++ {
+		m := masks[i*words : (i+1)*words]
+		for e, pe := range edges {
+			has := m[e>>6]&(1<<(uint(e)&63)) != 0
+			if has != worlds[i].HasEdge(pe.U, pe.V) {
+				t.Fatalf("world %d edge %d (%d,%d): mask says %v, sampled world says %v",
+					i, e, pe.U, pe.V, has, !has)
+			}
+		}
+	}
+}
+
+// TestBankReuseAllocationFree: once warmed at a given (n, graph) shape —
+// n is a function of (ε,δ) — redrawing the bank must not allocate: the
+// backing and the per-worker PRNGs are reused, only reseeded. This is the
+// serving engine's steady-state contract for the world-mask bank.
+func TestBankReuseAllocationFree(t *testing.T) {
+	pg := randomishProbGraph(24)
+	pool := par.NewPool(1)
+	defer pool.Close()
+	n := SampleSize(0.2, 0.1) // a fixed (ε,δ): every call needs the same n
+	var bank Bank
+	bank.WorldMasks(pool, pg, n, 1)
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		seed++
+		bank.WorldMasks(pool, pg, n, seed)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed bank allocates %v per draw at fixed (ε,δ), want 0", allocs)
+	}
+}

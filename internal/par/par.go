@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -56,6 +57,11 @@ type Pool struct {
 	wake    []chan struct{} // one buffered slot per helper
 	done    chan struct{}
 
+	// ctx, when non-nil, is the cancellation source bound by Bind: workers
+	// recheck it between chunk claims, so a cancelled round stops issuing
+	// new chunks promptly. Published to helpers by the wake sends.
+	ctx context.Context
+
 	// Per-round state, published to helpers by the wake sends.
 	n     int
 	chunk int
@@ -88,6 +94,33 @@ func NewPool(requested int) *Pool {
 // Workers returns the pool's resolved worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// serialCancelStride is how many indices the inline (single-worker) path of
+// ForWorker processes between cancellation checks; a power of two so the
+// boundary test is a mask.
+const serialCancelStride = 256
+
+// Bind attaches ctx as the pool's cancellation source for subsequent rounds:
+// every worker rechecks the context between chunk claims (and the inline
+// single-worker path every serialCancelStride indices), so a cancelled
+// For/ForWorker stops issuing new work promptly and returns with part of the
+// index range unprocessed. Callers observe the cancellation through Err and
+// must discard the round's partial results — an uncancelled round is
+// unaffected, so the determinism contract holds unchanged. Bind(nil)
+// detaches. A pool is single-caller; Bind must not overlap a running round.
+func (p *Pool) Bind(ctx context.Context) { p.ctx = ctx }
+
+// Err reports the bound context's cancellation status (nil when no context
+// is bound or it is still live). Workers return normally when cancelled
+// mid-round, so callers check Err after a round — and at convenient
+// checkpoints of serial sections between rounds — and abandon the partial
+// results.
+func (p *Pool) Err() error {
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
+}
+
 // For runs fn(i) for every i in [0, n) on the pool's workers.
 func (p *Pool) For(n int, fn func(i int)) {
 	p.ForWorker(n, func(_, i int) { fn(i) })
@@ -102,7 +135,16 @@ func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 		return
 	}
 	if p.workers == 1 || n == 1 {
+		if p.ctx == nil {
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
+			if i&(serialCancelStride-1) == 0 && p.ctx.Err() != nil {
+				return
+			}
 			fn(0, i)
 		}
 		return
@@ -122,7 +164,11 @@ func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 }
 
 func (p *Pool) loop(worker int) {
+	ctx := p.ctx
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		lo := int(p.next.Add(int64(p.chunk))) - p.chunk
 		if lo >= p.n {
 			return

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -58,5 +59,57 @@ func TestPoolCommutativeReduction(t *testing.T) {
 	}
 	if want := int64(n * (n - 1) / 2); total != want {
 		t.Errorf("per-worker sum total = %d, want %d", total, want)
+	}
+}
+
+// TestPoolCancellation: a bound context cancelled mid-round stops chunk
+// claims promptly (part of the range stays unprocessed), Err surfaces the
+// cancellation, and rebinding nil restores full, error-free rounds on the
+// same pool.
+func TestPoolCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		p.Bind(ctx)
+		var n atomic.Int64
+		const total = 1 << 16
+		p.ForWorker(total, func(_, i int) {
+			if n.Add(1) == 100 {
+				cancel()
+			}
+		})
+		if p.Err() == nil {
+			t.Fatalf("workers=%d: Err() = nil after cancellation", workers)
+		}
+		if got := n.Load(); got >= total {
+			t.Errorf("workers=%d: cancelled round processed all %d indices", workers, got)
+		}
+		p.Bind(nil)
+		n.Store(0)
+		p.ForWorker(total, func(_, i int) { n.Add(1) })
+		if got := n.Load(); got != total {
+			t.Errorf("workers=%d: rebound round processed %d of %d", workers, got, total)
+		}
+		if p.Err() != nil {
+			t.Errorf("workers=%d: Err() = %v after Bind(nil)", workers, p.Err())
+		}
+		p.Close()
+	}
+}
+
+// TestPoolPreCancelled: a round started under an already-cancelled context
+// processes nothing.
+func TestPoolPreCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		p.Bind(ctx)
+		ran := atomic.Int64{}
+		p.ForWorker(1<<12, func(_, i int) { ran.Add(1) })
+		if got := ran.Load(); got != 0 {
+			t.Errorf("workers=%d: pre-cancelled round processed %d indices, want 0", workers, got)
+		}
+		p.Close()
 	}
 }

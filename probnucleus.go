@@ -28,6 +28,17 @@
 //	for _, nucleus := range res.NucleiForK(res.MaxNucleusness()) {
 //	    fmt.Println(nucleus.Vertices)
 //	}
+//
+// Serving many callers, hold an Engine: a fixed set of decomposer shards
+// behind a free list, so concurrent goroutines issue mixed context-aware
+// requests against one long-lived object (see the README's Serving section):
+//
+//	eng := probnucleus.NewEngine(4, 2) // 4 shards × 2 workers
+//	defer eng.Close()
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, _ := eng.Local(ctx, pg, probnucleus.LocalRequest{Theta: 0.3})
+//	nuclei, _ := eng.Global(ctx, pg, probnucleus.NucleiRequest{K: 1, Theta: 0.3, Samples: 500})
 package probnucleus
 
 import (
@@ -132,12 +143,56 @@ func WeaklyGlobalNuclei(pg *Graph, k int, theta float64, opts MCOptions) ([]Prob
 // an (ε,δ) estimate (Lemma 4).
 func HoeffdingSampleSize(eps, delta float64) int { return mc.SampleSize(eps, delta) }
 
+// --- Concurrent serving ---
+
+// Engine is the concurrent-safe serving surface over the three decomposition
+// semantics: a fixed set of shards — each owning a persistent worker pool
+// and a reusable world-mask bank — dispatched to callers through a free
+// list. N goroutines may issue mixed Local/Global/Weak requests
+// simultaneously; every method takes a context.Context, and a cancelled
+// request returns ctx.Err() promptly while an uncancelled one is
+// byte-identical to the package-level functions.
+type Engine = core.Engine
+
+// LocalRequest parameterizes Engine.Local: one ℓ-NuDecomp query. Its
+// Validate method reports malformed requests via the sentinel errors below.
+type LocalRequest = core.LocalRequest
+
+// NucleiRequest parameterizes Engine.Global and Engine.Weak, unifying the
+// (k, θ) arguments and the MCOptions sampling knobs into one validated
+// request struct.
+type NucleiRequest = core.NucleiRequest
+
+// NewEngine creates an Engine with the given number of shards (< 1 means
+// one) of workersPerShard workers each (0 = all cores, 1 = serial). Shards
+// bound request concurrency, workersPerShard per-request parallelism;
+// serving setups typically pick shards × workersPerShard ≈ GOMAXPROCS.
+func NewEngine(shards, workersPerShard int) *Engine { return core.NewEngine(shards, workersPerShard) }
+
+// Sentinel validation errors, matched with errors.Is against anything the
+// decomposition entry points or the request Validate methods return.
+var (
+	// ErrTheta reports a probability threshold θ outside (0,1].
+	ErrTheta = core.ErrTheta
+	// ErrNegativeK reports a negative nucleus level k.
+	ErrNegativeK = core.ErrNegativeK
+	// ErrBadSampleSpec reports an unusable Monte-Carlo sample specification:
+	// a negative Samples count, or ε/δ outside (0,1] when set.
+	ErrBadSampleSpec = core.ErrBadSampleSpec
+	// ErrEngineClosed reports a request that was still waiting for a shard
+	// when its Engine was closed.
+	ErrEngineClosed = core.ErrEngineClosed
+)
+
 // Decomposer bundles LocalDecompose, GlobalNuclei, and WeaklyGlobalNuclei
 // around one persistent worker pool: repeated decompositions reuse the same
 // parked goroutine team across the local pruning phase, possible-world
 // sampling, and candidate validation, instead of spawning and tearing down a
-// pool per call. Results are identical to the package-level functions. A
-// Decomposer serves one goroutine at a time; call Close when done.
+// pool per call. It is a thin wrapper over a one-shard Engine; results are
+// identical to the package-level functions. A Decomposer serves one
+// goroutine at a time — concurrent entry panics rather than corrupting
+// shard scratch (use an Engine for concurrent serving); call Close when
+// done.
 type Decomposer = core.Decomposer
 
 // NewDecomposer creates a Decomposer with the given worker count (0 = all

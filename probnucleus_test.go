@@ -1,8 +1,13 @@
 package probnucleus_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	pn "probnucleus"
 )
@@ -73,6 +78,71 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if truss.MaxTruss() < 1 {
 		t.Errorf("MaxTruss = %d, want ≥ 1", truss.MaxTruss())
+	}
+}
+
+// TestEnginePublicAPI drives the serving surface the way a server would:
+// concurrent goroutines issuing mixed requests against one shared Engine,
+// each result compared against the package-level function, plus per-request
+// timeout contexts and sentinel-error validation.
+func TestEnginePublicAPI(t *testing.T) {
+	g := fig1()
+	wantLocal, err := pn.LocalDecompose(g, 0.42, pn.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGlob, err := pn.GlobalNuclei(g, 1, 0.35, pn.MCOptions{Samples: 500, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := pn.NewEngine(2, 2)
+	defer eng.Close()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			local, err := eng.Local(ctx, g, pn.LocalRequest{Theta: 0.42})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !reflect.DeepEqual(local.Nucleusness, wantLocal.Nucleusness) {
+				t.Error("engine local result differs from LocalDecompose")
+			}
+			glob, err := eng.Global(ctx, g, pn.NucleiRequest{K: 1, Theta: 0.35, Samples: 500, Seed: 1})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !reflect.DeepEqual(glob, wantGlob) {
+				t.Error("engine global result differs from GlobalNuclei")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if _, err := eng.Local(context.Background(), g, pn.LocalRequest{Theta: -1}); !errors.Is(err, pn.ErrTheta) {
+		t.Errorf("theta=-1: %v, want ErrTheta", err)
+	}
+	if _, err := eng.Global(context.Background(), g, pn.NucleiRequest{K: -1, Theta: 0.3}); !errors.Is(err, pn.ErrNegativeK) {
+		t.Errorf("k=-1: %v, want ErrNegativeK", err)
+	}
+	if err := (pn.NucleiRequest{K: 1, Theta: 0.3, Eps: 5}).Validate(); !errors.Is(err, pn.ErrBadSampleSpec) {
+		t.Errorf("eps=5: %v, want ErrBadSampleSpec", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Weak(ctx, g, pn.NucleiRequest{K: 1, Theta: 0.38, Samples: 100}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled weak: %v, want context.Canceled", err)
 	}
 }
 

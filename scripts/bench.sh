@@ -10,6 +10,8 @@
 #     shared-world validation engine — per-candidate world resampling and
 #     full per-world bucket-queue peels (krogan/dblp/flickr measured at that
 #     commit on the current runner, with flickr added to the benchmark set).
+#   - BenchmarkEngineReuse rows carry no historical baseline: the comparison
+#     is internal (bank-reusing warm Engine shard vs the per-call path).
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -17,14 +19,14 @@
 #
 # Environment:
 #   BENCH_PATTERN  go test -bench regexp
-#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak)$')
+#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse)$')
 #   BENCHTIME      go test -benchtime      (default 3x)
 #   BENCH_OUT      output JSON path        (default BENCH_local.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak)\$}"
+pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse)\$}"
 benchtime="${BENCHTIME:-3x}"
 out="${BENCH_OUT:-BENCH_local.json}"
 
@@ -81,7 +83,7 @@ BEGIN {
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak\",\n"
+    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"baseline_commit\": \"ae2043f (local rows) / bfdd6f3 (global+weak rows)\",\n"
     printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-shared-world engine (per-candidate world resampling, full per-world bucket-queue peels)\",\n"

@@ -7,7 +7,8 @@
 # tests in internal/core, internal/graph, and internal/mc run the worker
 # pools at 1/2/8 workers, so `go test -race` drives every concurrent path,
 # including the shared-world validation loop and its parallel min-tail
-# reduction.
+# reduction; a dedicated -race pass then re-runs the serving Engine's
+# concurrent stress and cancellation tests for extra scheduling variation.
 #
 # The test suite includes the shared-world steady-state allocation gates
 # (internal/core/arena_test.go: validating one more candidate — index
@@ -41,6 +42,14 @@ go test "$pkgs"
 
 echo "==> go test -race $pkgs"
 go test -race "$pkgs"
+
+# The serving engine's concurrency contract gets extra scheduling variation
+# beyond the one -race pass above: repeated runs of the stress test (N
+# goroutines × mixed local/global/weak on shared shards, byte-compared
+# against the package-level functions) plus the cancellation tests that
+# prove a cancelled shard is reusable.
+echo "==> go test -race engine stress (concurrent serving)"
+go test -race -count=2 -run 'TestEngineConcurrentStress|TestEngineCancellation|TestEngineDeadline' ./internal/core
 
 echo "==> goldendump -check (global/weak snapshot)"
 go run ./cmd/goldendump -check
