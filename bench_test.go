@@ -204,6 +204,39 @@ func BenchmarkEngineReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineContended measures the observer's hot-path cost where it
+// matters: more goroutines than shards hammering one engine, so every
+// request crosses admission, queueing, and the kernel hook sites. The
+// observer=metrics row must stay within a few percent of observer=nil —
+// the nil-observer fast path is a single branch, and EngineMetrics is
+// atomics-only.
+func BenchmarkEngineContended(b *testing.B) {
+	g := benchGraph("krogan", 0.04)
+	local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := pn.NucleiRequest{K: 1, Theta: 0.001, Samples: 100, Seed: 1, Local: local}
+	run := func(b *testing.B, opts ...pn.EngineOption) {
+		eng := pn.NewEngine(2, 1, opts...)
+		defer eng.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.Global(ctx, g, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("observer=nil", func(b *testing.B) { run(b) })
+	b.Run("observer=metrics", func(b *testing.B) {
+		run(b, pn.WithObserver(new(pn.EngineMetrics)))
+	})
+}
+
 // --- Table 2: AP accuracy against DP ---
 
 func BenchmarkTable2APAccuracy(b *testing.B) {

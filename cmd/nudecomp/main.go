@@ -21,6 +21,12 @@
 // straight from the CLI:
 //
 //	nudecomp -dataset dblp -theta 0.3 -cpuprofile cpu.out -memprofile mem.out
+//
+// -stats attaches the engine's observer and prints execution counters after
+// the run — worlds sampled, peel rounds, candidate validations, pool
+// utilisation, request latency:
+//
+//	nudecomp -dataset krogan -theta 0.001 -mode weak -k 1 -stats
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the decomposition after this long (0 = no limit)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the decomposition to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile taken after the decomposition to this file")
+		stats   = flag.Bool("stats", false, "print engine execution stats (worlds, peel rounds, latency) after the run")
 	)
 	flag.Parse()
 
@@ -83,8 +90,15 @@ func main() {
 	}
 
 	// One-shard engine: identical results to the package-level functions,
-	// plus the context hook -timeout needs.
-	eng := pn.NewEngine(1, *workers)
+	// plus the context hook -timeout needs and the observer hook -stats
+	// needs.
+	var engOpts []pn.EngineOption
+	var metrics *pn.EngineMetrics
+	if *stats {
+		metrics = new(pn.EngineMetrics)
+		engOpts = append(engOpts, pn.WithObserver(metrics))
+	}
+	eng := pn.NewEngine(1, *workers, engOpts...)
 	defer eng.Close()
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -143,6 +157,30 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	if metrics != nil {
+		printStats(metrics.Snapshot())
+	}
+}
+
+// printStats renders the engine observer's snapshot: per-semantics request
+// latencies and the kernel progress counters.
+func printStats(snap pn.EngineSnapshot) {
+	fmt.Println("engine stats:")
+	for _, r := range snap.Requests {
+		if r.Started == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %d finished (%d failed), latency mean %.1fms p99 %.1fms max %.1fms\n",
+			r.Semantics, r.Finished, r.Failed, r.Latency.MeanMs, r.Latency.P99Ms, r.Latency.MaxMs)
+	}
+	if snap.WorldBatches > 0 {
+		fmt.Printf("  monte-carlo: %d worlds in %d batches\n", snap.Worlds, snap.WorldBatches)
+	}
+	if snap.Candidates > 0 {
+		fmt.Printf("  candidates: %d validated, %d triangles\n", snap.Candidates, snap.CandidateTris)
+	}
+	fmt.Printf("  peeling: %d rounds\n", snap.PeelRounds)
+	fmt.Printf("  pool: %d rounds, %d items, %.1fms busy\n", snap.PoolRounds, snap.PoolItems, snap.PoolTimeMs)
 }
 
 func printLocal(res *pn.LocalResult, top int) {

@@ -3,8 +3,11 @@
 // engine was designed for. Every request checks out a shard under a
 // per-request timeout context; cancelled or expired requests return 504 and
 // release their shard promptly, malformed parameters are rejected with 400
-// via the sentinel errors, and concurrent queries across the three
-// semantics never block the whole process behind one big decomposition.
+// via the sentinel errors, admission-bound overloads return 503
+// (Retry-After), and concurrent queries across the three semantics never
+// block the whole process behind one big decomposition. /metrics exposes the
+// engine's request ledger and latency histograms as JSON, and SIGINT/SIGTERM
+// drain in-flight requests before the engine is closed.
 //
 // Run it and issue concurrent queries:
 //
@@ -12,6 +15,7 @@
 //	curl 'localhost:8080/local?theta=0.3&mode=ap'
 //	curl 'localhost:8080/nuclei?semantics=global&k=1&theta=0.001&samples=100' &
 //	curl 'localhost:8080/nuclei?semantics=weak&k=1&theta=0.001&samples=100' &
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -21,113 +25,184 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	pn "probnucleus"
 )
 
+// server bundles the serving state the handlers close over, so tests can
+// build one around an httptest listener without going through main.
+type server struct {
+	pg      *pn.Graph
+	eng     *pn.Engine
+	metrics *pn.EngineMetrics
+	timeout time.Duration
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:8080", "listen address")
-		name    = flag.String("dataset", "krogan", "simulated dataset to serve")
-		scale   = flag.Float64("scale", 0.04, "dataset scale")
-		shards  = flag.Int("shards", 2, "engine shards (max concurrent decompositions)")
-		workers = flag.Int("workers", 0, "workers per shard (0 = all cores)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		name     = flag.String("dataset", "krogan", "simulated dataset to serve")
+		scale    = flag.Float64("scale", 0.04, "dataset scale")
+		shards   = flag.Int("shards", 2, "engine shards (max concurrent decompositions)")
+		workers  = flag.Int("workers", 0, "workers per shard (0 = all cores)")
+		maxQueue = flag.Int("maxqueue", 64, "max requests waiting for a shard before 503 (-1 = unbounded)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	)
 	flag.Parse()
 
-	pg := pn.MustDataset(*name, *scale)
-	eng := pn.NewEngine(*shards, *workers)
-	defer eng.Close()
+	metrics := new(pn.EngineMetrics)
+	srv := &server{
+		pg:      pn.MustDataset(*name, *scale),
+		eng:     pn.NewEngine(*shards, *workers, pn.WithMaxQueue(*maxQueue), pn.WithObserver(metrics)),
+		metrics: metrics,
+		timeout: *timeout,
+	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s (%d edges) on http://%s — %d shards × %d workers, queue %d, %v timeout",
+		*name, srv.pg.NumEdges(), ln.Addr(), srv.eng.Shards(), srv.eng.Workers(), *maxQueue, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, &http.Server{Handler: srv.handler()}, ln, srv.eng); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained and closed")
+}
+
+// run serves on ln until ctx is cancelled, then drains in-flight requests
+// via http.Server.Shutdown and closes the engine — in that order, so no
+// request can observe a closed engine during a graceful exit. The engine is
+// closed on every path out, including listener failure.
+func run(ctx context.Context, hs *http.Server, ln net.Listener, eng *pn.Engine) error {
+	defer eng.Close() // idempotent: harmless if a caller also defers it
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err // listener died; Serve never returns nil here
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return hs.Shutdown(drain)
+}
+
+// handler builds the route table over the server's engine.
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/local", func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), *timeout)
-		defer cancel()
-		q := query{r: r}
-		req := pn.LocalRequest{Theta: q.float("theta", 0.3)}
-		if q.err != nil {
-			http.Error(w, q.err.Error(), http.StatusBadRequest)
-			return
-		}
-		if r.URL.Query().Get("mode") == "ap" {
-			req.Mode = pn.ModeAP
-		}
-		res, err := eng.Local(ctx, pg, req)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		maxK := res.MaxNucleusness()
-		writeJSON(w, map[string]any{
-			"theta":          res.Theta,
-			"triangles":      len(res.Nucleusness),
-			"maxNucleusness": maxK,
-			"nucleiAtMax":    len(res.NucleiForK(maxK)),
-		})
-	})
-	mux.HandleFunc("/nuclei", func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), *timeout)
-		defer cancel()
-		q := query{r: r}
-		req := pn.NucleiRequest{
-			K:       int(q.float("k", 1)),
-			Theta:   q.float("theta", 0.3),
-			Samples: int(q.float("samples", 0)),
-			Eps:     q.float("eps", 0),
-			Delta:   q.float("delta", 0),
-			Seed:    int64(q.float("seed", 1)),
-		}
-		if q.err != nil {
-			http.Error(w, q.err.Error(), http.StatusBadRequest)
-			return
-		}
-		var (
-			nuclei []pn.ProbNucleus
-			err    error
-		)
-		switch sem := r.URL.Query().Get("semantics"); sem {
-		case "", "global":
-			nuclei, err = eng.Global(ctx, pg, req)
-		case "weak":
-			nuclei, err = eng.Weak(ctx, pg, req)
-		default:
-			http.Error(w, "semantics must be global or weak, got "+strconv.Quote(sem), http.StatusBadRequest)
-			return
-		}
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		summaries := make([]map[string]any, len(nuclei))
-		for i, n := range nuclei {
-			summaries[i] = map[string]any{
-				"vertices":  len(n.Vertices),
-				"edges":     len(n.Edges),
-				"triangles": len(n.Triangles),
-				"minProb":   n.MinProb,
-			}
-		}
-		writeJSON(w, map[string]any{"k": req.K, "theta": req.Theta, "nuclei": summaries})
-	})
+	mux.HandleFunc("/local", s.handleLocal)
+	mux.HandleFunc("/nuclei", s.handleNuclei)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
 
-	log.Printf("serving %s (%d edges) on http://%s — %d shards × %d workers, %v timeout",
-		*name, pg.NumEdges(), *addr, eng.Shards(), eng.Workers(), *timeout)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	q := query{r: r}
+	req := pn.LocalRequest{Theta: q.float("theta", 0.3)}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "dp":
+		req.Mode = pn.ModeDP
+	case "ap":
+		req.Mode = pn.ModeAP
+	default:
+		http.Error(w, "mode must be dp or ap, got "+strconv.Quote(mode), http.StatusBadRequest)
+		return
+	}
+	if q.err != nil {
+		http.Error(w, q.err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.eng.Local(ctx, s.pg, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	maxK := res.MaxNucleusness()
+	writeJSON(w, map[string]any{
+		"theta":          res.Theta,
+		"triangles":      len(res.Nucleusness),
+		"maxNucleusness": maxK,
+		"nucleiAtMax":    len(res.NucleiForK(maxK)),
+	})
+}
+
+func (s *server) handleNuclei(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	q := query{r: r}
+	req := pn.NucleiRequest{
+		K:       q.int("k", 1),
+		Theta:   q.float("theta", 0.3),
+		Samples: q.int("samples", 0),
+		Eps:     q.float("eps", 0),
+		Delta:   q.float("delta", 0),
+		Seed:    q.int64("seed", 1),
+	}
+	if q.err != nil {
+		http.Error(w, q.err.Error(), http.StatusBadRequest)
+		return
+	}
+	var (
+		nuclei []pn.ProbNucleus
+		err    error
+	)
+	switch sem := r.URL.Query().Get("semantics"); sem {
+	case "", "global":
+		nuclei, err = s.eng.Global(ctx, s.pg, req)
+	case "weak":
+		nuclei, err = s.eng.Weak(ctx, s.pg, req)
+	default:
+		http.Error(w, "semantics must be global or weak, got "+strconv.Quote(sem), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	summaries := make([]map[string]any, len(nuclei))
+	for i, n := range nuclei {
+		summaries[i] = map[string]any{
+			"vertices":  len(n.Vertices),
+			"edges":     len(n.Edges),
+			"triangles": len(n.Triangles),
+			"minProb":   n.MinProb,
+		}
+	}
+	writeJSON(w, map[string]any{"k": req.K, "theta": req.Theta, "nuclei": summaries})
+}
+
+// handleMetrics serves a point-in-time snapshot of the engine's observer:
+// per-semantics request ledgers with queue-wait and latency histograms, plus
+// kernel progress counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
 }
 
 // writeError maps engine failures onto HTTP statuses: validation failures
 // (the sentinel errors) are the client's fault, expired or abandoned
-// contexts are timeouts, anything else is a server error.
+// contexts are timeouts, an admission-bound overload or a closing engine is
+// a retryable 503, anything else is a server error.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pn.ErrTheta), errors.Is(err, pn.ErrNegativeK), errors.Is(err, pn.ErrBadSampleSpec):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, pn.ErrOverloaded), errors.Is(err, pn.ErrEngineClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -140,9 +215,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// query parses numeric URL parameters, remembering the first failure so a
-// typo'd parameter becomes a 400 instead of being silently replaced by its
-// default.
+// query parses URL parameters, remembering the first failure so a typo'd
+// parameter becomes a 400 instead of being silently replaced by its default.
+// Integer parameters are parsed strictly: "1.5" or an overflowing value is a
+// 400, never a silent truncation.
 type query struct {
 	r   *http.Request
 	err error
@@ -155,10 +231,36 @@ func (q *query) float(key string, def float64) float64 {
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		if q.err == nil {
-			q.err = fmt.Errorf("parameter %s=%q is not a number", key, s)
-		}
+		q.fail("parameter %s=%q is not a number", key, s)
 		return def
 	}
 	return v
+}
+
+func (q *query) int(key string, def int) int {
+	v := q.int64(key, int64(def))
+	if int64(int(v)) != v {
+		q.fail("parameter %s=%d overflows int", key, v)
+		return def
+	}
+	return int(v)
+}
+
+func (q *query) int64(key string, def int64) int64 {
+	s := q.r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		q.fail("parameter %s=%q is not an integer", key, s)
+		return def
+	}
+	return v
+}
+
+func (q *query) fail(format string, args ...any) {
+	if q.err == nil {
+		q.err = fmt.Errorf(format, args...)
+	}
 }

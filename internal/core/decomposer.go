@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"probnucleus/internal/graph"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/probgraph"
 )
 
@@ -68,7 +69,7 @@ func (d *Decomposer) LocalDecompose(pg *probgraph.Graph, theta float64, opts Opt
 func (d *Decomposer) InitialKappa(pg *probgraph.Graph, theta float64, opts Options) (*graph.TriangleIndex, []int, error) {
 	d.enter("InitialKappa")
 	defer d.exit()
-	s, err := d.eng.acquire(context.Background())
+	s, err := d.eng.acquire(context.Background(), obs.SemLocal)
 	if err != nil {
 		return nil, nil, err
 	}

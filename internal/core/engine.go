@@ -2,8 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"probnucleus/internal/mc"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/par"
 	"probnucleus/internal/pbd"
 	"probnucleus/internal/probgraph"
@@ -71,11 +76,12 @@ func (r NucleiRequest) Validate() error {
 	if !(r.Theta > 0 && r.Theta <= 1) {
 		return errTheta(r.Theta)
 	}
-	return r.mcOptions(nil, nil).validateSampleSpec()
+	return r.mcOptions(nil, nil, nil).validateSampleSpec()
 }
 
-// mcOptions lowers the request onto a shard's pool and world-mask bank.
-func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank) MCOptions {
+// mcOptions lowers the request onto a shard's pool, world-mask bank, and
+// observer.
+func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank, o obs.Observer) MCOptions {
 	return MCOptions{
 		Eps:     r.Eps,
 		Delta:   r.Delta,
@@ -84,7 +90,37 @@ func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank) MCOptions {
 		Local:   r.Local,
 		Pool:    pool,
 		Bank:    bank,
+		Obs:     o,
 	}
+}
+
+// EngineOption configures optional Engine behavior at construction
+// (admission bounds, observability); pass them to NewEngine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	maxQueue int // requests allowed to wait for a shard; < 0 = unbounded
+	obs      obs.Observer
+}
+
+// WithMaxQueue bounds admission: at most n requests may wait for a shard at
+// once, and a request arriving beyond that fails fast with ErrOverloaded
+// instead of parking unboundedly on the free list. n = 0 admits only
+// requests a free shard can serve immediately; negative n (and engines
+// built without the option) leave admission unbounded.
+func WithMaxQueue(n int) EngineOption {
+	return func(c *engineConfig) { c.maxQueue = n }
+}
+
+// WithObserver attaches o as the engine's observer: request lifecycle events
+// (admitted/rejected/started/finished per semantics, with shard-acquire
+// waits and total latencies), shared Monte-Carlo world batches, peel rounds,
+// candidate validations, and worker-pool round timings. o must be safe for
+// concurrent use; obs.Metrics is the batteries-included implementation. A
+// nil observer (the default) adds zero allocations and a single predictable
+// branch per hook site to the decomposition paths.
+func WithObserver(o obs.Observer) EngineOption {
+	return func(c *engineConfig) { c.obs = o }
 }
 
 // Engine is the concurrent-safe serving surface over the three decomposition
@@ -94,7 +130,7 @@ func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank) MCOptions {
 // the same (ε,δ)) — dispatched to callers through a free list. N goroutines
 // may issue mixed Local/Global/Weak requests simultaneously; at most
 // Shards() of them decompose at once while the rest wait on the free list or
-// their contexts.
+// their contexts, and WithMaxQueue bounds how many may wait.
 //
 // Results are byte-identical to the package-level functions for every shard
 // and worker count. Cancellation is checked between worker-pool chunks and
@@ -106,7 +142,16 @@ type Engine struct {
 	// closed is closed by Close so acquirers blocked on the free list fail
 	// with ErrEngineClosed instead of waiting forever for shards that will
 	// never return.
-	closed chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// obs receives lifecycle and kernel progress events; nil when the engine
+	// was built without WithObserver.
+	obs obs.Observer
+	// maxQueue bounds how many requests may wait for a shard (< 0 =
+	// unbounded); waiters tracks how many currently do.
+	maxQueue int
+	waiters  atomic.Int64
 }
 
 // engineShard is one unit of serving capacity: a parked worker team plus the
@@ -123,17 +168,29 @@ type engineShard struct {
 // parallelism; serving setups typically pick shards × workersPerShard ≈
 // GOMAXPROCS — many small shards for throughput under heavy concurrent
 // traffic, few wide shards for the latency of individual big queries.
-func NewEngine(shards, workersPerShard int) *Engine {
+// Options add bounded admission (WithMaxQueue) and observability
+// (WithObserver); without them admission is unbounded and observing is off.
+func NewEngine(shards, workersPerShard int, opts ...EngineOption) *Engine {
 	if shards < 1 {
 		shards = 1
 	}
+	cfg := engineConfig{maxQueue: -1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	e := &Engine{
-		free:   make(chan *engineShard, shards),
-		shards: make([]*engineShard, shards),
-		closed: make(chan struct{}),
+		free:     make(chan *engineShard, shards),
+		shards:   make([]*engineShard, shards),
+		closed:   make(chan struct{}),
+		obs:      cfg.obs,
+		maxQueue: cfg.maxQueue,
 	}
 	for i := range e.shards {
 		s := &engineShard{pool: par.NewPool(workersPerShard)}
+		if e.obs != nil {
+			s.pool.SetTap(e.obs.PoolRound)
+			s.bank.Tap = e.obs.WorldBatch
+		}
 		e.shards[i] = s
 		e.free <- s
 	}
@@ -150,31 +207,72 @@ func (e *Engine) Workers() int { return e.shards[0].pool.Workers() }
 // Close waits for in-flight requests to finish, then releases every shard's
 // worker team. Requests still waiting for a shard fail with ErrEngineClosed
 // (a request that wins the race for a releasing shard is still served).
-// Close must be called exactly once; the engine must not be used afterwards.
+// Close is idempotent: concurrent and repeated calls are no-ops that wait
+// for the first close to finish. The engine must not be used afterwards.
 func (e *Engine) Close() {
-	close(e.closed)
-	for range e.shards {
-		s := <-e.free
-		s.pool.Close()
-	}
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		for range e.shards {
+			s := <-e.free
+			s.pool.Close()
+		}
+	})
 }
 
-// acquire checks out a free shard bound to ctx; it fails with ctx.Err()
-// when the context is cancelled — or ErrEngineClosed when the engine is
-// closed — before a shard frees up.
-func (e *Engine) acquire(ctx context.Context) (*engineShard, error) {
+// acquire checks out a free shard bound to ctx, observing the request's
+// admission lifecycle for sem. It fails fast with ErrOverloaded when no
+// shard is free and the waiting queue is at its admission bound, with
+// ctx.Err() when the context is cancelled — its deadline is honored while
+// queued — or with ErrEngineClosed when the engine is closed before a shard
+// frees up.
+func (e *Engine) acquire(ctx context.Context, sem obs.Semantics) (*engineShard, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var s *engineShard
 	select {
 	case s = <-e.free:
+		if e.obs != nil {
+			e.obs.RequestAdmitted(sem)
+			e.obs.RequestStarted(sem, 0)
+		}
 	default:
+		// No shard free: the request must queue. Admission bound first —
+		// beyond maxQueue waiters the engine is overloaded and the request
+		// fails fast rather than parking unboundedly.
+		if e.maxQueue >= 0 && e.waiters.Add(1) > int64(e.maxQueue) {
+			e.waiters.Add(-1)
+			if e.obs != nil {
+				e.obs.RequestRejected(sem, obs.RejectOverload)
+			}
+			return nil, fmt.Errorf("core: %d shards busy, %d waiting: %w",
+				len(e.shards), e.maxQueue, ErrOverloaded)
+		}
+		if e.maxQueue < 0 {
+			e.waiters.Add(1)
+		}
+		var wait time.Time
+		if e.obs != nil {
+			e.obs.RequestAdmitted(sem)
+			wait = time.Now()
+		}
 		select {
 		case s = <-e.free:
+			e.waiters.Add(-1)
+			if e.obs != nil {
+				e.obs.RequestStarted(sem, time.Since(wait))
+			}
 		case <-ctx.Done():
+			e.waiters.Add(-1)
+			if e.obs != nil {
+				e.obs.RequestRejected(sem, obs.RejectExpired)
+			}
 			return nil, ctx.Err()
 		case <-e.closed:
+			e.waiters.Add(-1)
+			if e.obs != nil {
+				e.obs.RequestRejected(sem, obs.RejectClosed)
+			}
 			return nil, ErrEngineClosed
 		}
 	}
@@ -188,6 +286,22 @@ func (e *Engine) release(s *engineShard) {
 	e.free <- s
 }
 
+// finish reports a completed request to the observer.
+func (e *Engine) finish(sem obs.Semantics, start time.Time, err error) {
+	if e.obs != nil {
+		e.obs.RequestFinished(sem, time.Since(start), err != nil)
+	}
+}
+
+// now returns the wall clock only when the engine observes — time.Now stays
+// off the request path of unobserved engines.
+func (e *Engine) now() time.Time {
+	if e.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 // Local answers one ℓ-NuDecomp request on a free shard. The result is
 // byte-identical to LocalDecompose at the same θ/Mode/Hyper; a cancelled ctx
 // makes it return ctx.Err() instead.
@@ -195,17 +309,21 @@ func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalReques
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := e.acquire(ctx)
+	start := e.now()
+	s, err := e.acquire(ctx, obs.SemLocal)
 	if err != nil {
 		return nil, err
 	}
 	defer e.release(s)
-	return localDecompose(pg, req.Theta, Options{
+	res, err := localDecompose(pg, req.Theta, Options{
 		Mode:         req.Mode,
 		Hyper:        req.Hyper,
 		MethodCounts: req.MethodCounts,
 		Pool:         s.pool,
+		Obs:          e.obs,
 	})
+	e.finish(obs.SemLocal, start, err)
+	return res, err
 }
 
 // Global answers one g-NuDecomp request on a free shard, sampling its
@@ -216,12 +334,15 @@ func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequ
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := e.acquire(ctx)
+	start := e.now()
+	s, err := e.acquire(ctx, obs.SemGlobal)
 	if err != nil {
 		return nil, err
 	}
 	defer e.release(s)
-	return globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank))
+	out, err := globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+	e.finish(obs.SemGlobal, start, err)
+	return out, err
 }
 
 // Weak answers one w-NuDecomp request on a free shard, sampling its possible
@@ -232,10 +353,13 @@ func (e *Engine) Weak(ctx context.Context, pg *probgraph.Graph, req NucleiReques
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := e.acquire(ctx)
+	start := e.now()
+	s, err := e.acquire(ctx, obs.SemWeak)
 	if err != nil {
 		return nil, err
 	}
 	defer e.release(s)
-	return weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank))
+	out, err := weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+	e.finish(obs.SemWeak, start, err)
+	return out, err
 }

@@ -11,6 +11,7 @@ import (
 
 	"probnucleus/internal/dataset"
 	"probnucleus/internal/fixtures"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/probgraph"
 )
 
@@ -202,7 +203,7 @@ func TestEngineCancelledBeforeCall(t *testing.T) {
 // free list no shard will ever return to.
 func TestEngineCloseUnblocksWaiters(t *testing.T) {
 	eng := NewEngine(1, 1)
-	s, err := eng.acquire(context.Background())
+	s, err := eng.acquire(context.Background(), obs.SemLocal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,5 +312,208 @@ func TestSentinelErrors(t *testing.T) {
 	}
 	if err := (NucleiRequest{K: 2, Theta: 0.5, Eps: 0.2, Delta: 0.05}).Validate(); err != nil {
 		t.Errorf("valid NucleiRequest rejected: %v", err)
+	}
+}
+
+// TestEngineOverload: with admission bounded, a request arriving while every
+// shard is busy and the queue is full returns ErrOverloaded immediately
+// instead of parking on the free list. Run under -race by the ci.sh
+// overload/shutdown stress pass.
+func TestEngineOverload(t *testing.T) {
+	eng := NewEngine(1, 1, WithMaxQueue(0))
+	defer eng.Close()
+	s, err := eng.acquire(context.Background(), obs.SemLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated engine returned %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("overload rejection took %v; it must fail fast, not park", elapsed)
+	}
+	eng.release(s)
+	// Capacity back: the engine serves again.
+	if _, err := eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3}); err != nil {
+		t.Fatalf("engine unusable after overload rejection: %v", err)
+	}
+}
+
+// TestEngineOverloadQueueDepth: WithMaxQueue(n) admits exactly n waiters —
+// waiter n+1 is rejected while the first n keep their place and are served
+// once the shard frees up.
+func TestEngineOverloadQueueDepth(t *testing.T) {
+	eng := NewEngine(1, 1, WithMaxQueue(1))
+	defer eng.Close()
+	s, err := eng.acquire(context.Background(), obs.SemLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is admitted and parks.
+	waited := make(chan error, 1)
+	go func() {
+		_, err := eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3})
+		waited <- err
+	}()
+	// Poll until the waiter is counted, so the overflow request below is
+	// deterministic about its queue position.
+	for deadline := time.Now().Add(5 * time.Second); eng.waiters.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := eng.Local(context.Background(), fixtures.Fig1(), LocalRequest{Theta: 0.3}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-overflow request returned %v, want ErrOverloaded", err)
+	}
+	eng.release(s)
+	if err := <-waited; err != nil {
+		t.Fatalf("admitted waiter failed: %v", err)
+	}
+}
+
+// TestEngineCloseIdempotent: Close twice (sequentially and concurrently) is
+// a no-op the second time — no close-of-closed-channel panic — so serving
+// shutdown paths can defer Close unconditionally.
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng := NewEngine(2, 1)
+	eng.Close()
+	eng.Close() // must not panic
+
+	eng = NewEngine(2, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEngineConcurrentCloseStress: goroutines hammer a bounded engine with
+// mixed requests while Close runs concurrently. Every outcome must be a
+// served result or a typed rejection (ErrEngineClosed / ErrOverloaded), and
+// Close must return with all shards reclaimed. This is the ci.sh
+// overload/shutdown race-stress pass.
+func TestEngineConcurrentCloseStress(t *testing.T) {
+	pg := fixtures.Fig1()
+	eng := NewEngine(2, 1, WithMaxQueue(2))
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*16)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = eng.Local(context.Background(), pg, LocalRequest{Theta: 0.35})
+				case 1:
+					_, err = eng.Global(context.Background(), pg, NucleiRequest{K: 1, Theta: 0.35, Samples: 20, Seed: 1})
+				default:
+					_, err = eng.Weak(context.Background(), pg, NucleiRequest{K: 1, Theta: 0.35, Samples: 20, Seed: 1})
+				}
+				if err != nil {
+					if !errors.Is(err, ErrEngineClosed) && !errors.Is(err, ErrOverloaded) {
+						errc <- fmt.Errorf("goroutine %d iter %d: unexpected error %w", g, i, err)
+					}
+					if errors.Is(err, ErrEngineClosed) {
+						return // engine gone; later requests can only repeat this
+					}
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond) // let traffic build before closing under it
+	eng.Close()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestEngineObserverEvents: a Metrics observer attached via WithObserver
+// sees a consistent request ledger — admitted = started = finished per
+// semantics for uncontended traffic — plus kernel progress (worlds sampled,
+// peel rounds, candidates, pool rounds) and an overload rejection.
+func TestEngineObserverEvents(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.04)))
+	m := new(obs.Metrics)
+	eng := NewEngine(1, 2, WithMaxQueue(0), WithObserver(m))
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.Local(ctx, pg, LocalRequest{Theta: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	req := NucleiRequest{K: 1, Theta: 0.001, Samples: 40, Seed: 1}
+	if _, err := eng.Global(ctx, pg, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Weak(ctx, pg, req); err != nil {
+		t.Fatal(err)
+	}
+	// One overload rejection for the ledger: a weak-semantics goroutine holds
+	// the only shard while a local request arrives with the queue full.
+	s, err := eng.acquire(ctx, obs.SemWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Local(ctx, pg, LocalRequest{Theta: 0.3}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	eng.release(s)
+
+	snap := m.Snapshot()
+	for sem, want := range map[obs.Semantics]int64{obs.SemLocal: 1, obs.SemGlobal: 1, obs.SemWeak: 1} {
+		r := snap.Requests[sem]
+		if r.Finished != want || r.Failed != 0 {
+			t.Errorf("%s ledger: finished=%d failed=%d, want %d/0", sem, r.Finished, r.Failed, want)
+		}
+		if r.Latency.Count != want {
+			t.Errorf("%s latency samples = %d, want %d", sem, r.Latency.Count, want)
+		}
+		if r.QueueWait.Count < want {
+			t.Errorf("%s queue-wait samples = %d, want at least %d", sem, r.QueueWait.Count, want)
+		}
+	}
+	// The rejected local request was never admitted, only rejected.
+	if r := snap.Requests[obs.SemLocal]; r.Rejected["overload"] != 1 || r.Admitted != 1 {
+		t.Errorf("local admission: admitted=%d overloadRejects=%d, want 1/1", r.Admitted, r.Rejected["overload"])
+	}
+	if snap.Worlds != 2*40 || snap.WorldBatches != 2 {
+		t.Errorf("worlds=%d batches=%d, want 80/2 (global+weak, 40 samples each)", snap.Worlds, snap.WorldBatches)
+	}
+	if snap.PeelRounds == 0 {
+		t.Error("no peel rounds observed across three local decompositions")
+	}
+	if snap.Candidates == 0 {
+		t.Error("no candidates observed by the global/weak pipelines")
+	}
+	if snap.PoolRounds == 0 {
+		t.Error("no pool rounds observed")
+	}
+}
+
+// TestEngineObserverResultsUnchanged: an observed engine returns
+// byte-identical results to the package-level functions — observation is
+// read-only.
+func TestEngineObserverResultsUnchanged(t *testing.T) {
+	m := new(obs.Metrics)
+	eng := NewEngine(2, 2, WithMaxQueue(8), WithObserver(m))
+	defer eng.Close()
+	for _, c := range engineCases(t) {
+		if err := checkEngineCase(context.Background(), eng, c); err != nil {
+			t.Error(err)
+		}
+	}
+	if m.Snapshot().PeelRounds == 0 {
+		t.Error("observer saw no peel rounds")
 	}
 }

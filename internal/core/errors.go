@@ -19,6 +19,11 @@ var (
 	ErrBadSampleSpec = errors.New("bad Monte-Carlo sample spec")
 	// ErrEngineClosed reports a request issued against a closed Engine.
 	ErrEngineClosed = errors.New("engine closed")
+	// ErrOverloaded reports a request rejected by the Engine's admission
+	// bound: every shard was busy and the waiting queue was already at its
+	// WithMaxQueue limit, so the request failed fast instead of parking
+	// unboundedly. Servers map it to 503 and clients retry with backoff.
+	ErrOverloaded = errors.New("engine overloaded")
 )
 
 func errTheta(theta float64) error {

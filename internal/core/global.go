@@ -9,6 +9,7 @@ import (
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
 	"probnucleus/internal/mc"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
@@ -42,6 +43,11 @@ type MCOptions struct {
 	// through a one-shot engine shard that owns its own bank and Bank is
 	// ignored. Leave nil outside engine internals; a private bank is used.
 	Bank *mc.Bank
+	// Obs, when non-nil, receives kernel progress events (shared world
+	// batches, candidate validations); it is engine plumbing, set by
+	// Engine.Global/Weak from WithObserver. A nil observer adds zero
+	// allocations to the decomposition path.
+	Obs obs.Observer
 }
 
 func (o MCOptions) sampleCount() int {
@@ -80,12 +86,18 @@ func (o MCOptions) validateSampleSpec() error {
 }
 
 // worldBank resolves the reusable bank the shared world stream is drawn
-// into: the caller-owned one when set, or a private per-call bank.
+// into: the caller-owned one when set (the Engine pre-wires its tap to the
+// engine observer), or a private per-call bank tapped here so world batches
+// stay observable on the one-shot path too.
 func (o MCOptions) worldBank() *mc.Bank {
 	if o.Bank != nil {
 		return o.Bank
 	}
-	return new(mc.Bank)
+	b := new(mc.Bank)
+	if o.Obs != nil {
+		b.Tap = o.Obs.WorldBatch
+	}
+	return b
 }
 
 // nucleiRequest lifts (k, θ) plus the sampling knobs of o into the request
@@ -171,7 +183,7 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool, Obs: opts.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +214,9 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 		closure := cand.closure(seed, k)
 		if !seen.insert(closure) {
 			continue
+		}
+		if opts.Obs != nil {
+			opts.Obs.Candidate(len(closure))
 		}
 		edges = appendTriangleEdges(edges[:0], cand.ti, closure)
 		h := graph.FromSortedEdges(pg.NumVertices(), edges)

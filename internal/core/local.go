@@ -18,6 +18,7 @@ import (
 	"probnucleus/internal/bucket"
 	"probnucleus/internal/decomp"
 	"probnucleus/internal/graph"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/par"
 	"probnucleus/internal/pbd"
 	"probnucleus/internal/probgraph"
@@ -55,6 +56,10 @@ type Options struct {
 	// Servers running many small decompositions share one pool across the
 	// local, global, and weak phases (see Decomposer).
 	Pool *par.Pool
+	// Obs, when non-nil, receives kernel progress events (peel rounds); it is
+	// engine plumbing, set by Engine.Local from WithObserver. A nil observer
+	// adds zero allocations to the decomposition path.
+	Obs obs.Observer
 }
 
 // pool resolves the worker pool to run on: the caller-owned one when set, or
@@ -308,6 +313,9 @@ func localDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalRes
 			if nk < q.Key(o) {
 				q.Update(o, nk)
 			}
+		}
+		if opts.Obs != nil {
+			opts.Obs.PeelRound(len(todo))
 		}
 	}
 	return &LocalResult{PG: pg, TI: ti, Theta: theta, Nucleusness: nu}, nil

@@ -67,7 +67,7 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	local := opts.Local
 	if local == nil {
 		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool})
+		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool, Obs: opts.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -113,6 +113,9 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		h := graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
 		hti := local.TI.SubIndex(h, &sub)
 		m := hti.Len()
+		if opts.Obs != nil {
+			opts.Obs.Candidate(m)
+		}
 		seed.Seed(hti, cand.Edges, k)
 		seed.MapUnion(union)
 		for w := range losses {

@@ -156,6 +156,12 @@ func WorldMasksPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (mas
 // A Bank serves one call at a time, and the masks it returns alias its
 // backing: they are valid until the next WorldMasks call.
 type Bank struct {
+	// Tap, when non-nil, is invoked once at the end of every WorldMasks call
+	// with the drawn world count and the mask words per world — the engine's
+	// world-batch observability hook. It runs on the calling goroutine, after
+	// the bank is filled.
+	Tap func(worlds, words int)
+
 	buf  []uint64
 	rngs []*rand.Rand
 	fill func(worker, c int)
@@ -210,6 +216,9 @@ func (b *Bank) WorldMasks(pool *par.Pool, pg *probgraph.Graph, n int, seed int64
 	pool.ForWorker((n+WorldChunk-1)/WorldChunk, b.fill)
 	masks = b.masks
 	b.edges, b.masks = nil, nil // don't pin the caller's graph between calls
+	if b.Tap != nil {
+		b.Tap(n, words)
+	}
 	return masks, words
 }
 

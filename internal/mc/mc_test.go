@@ -2,9 +2,11 @@ package mc
 
 import (
 	"math"
+	"slices"
 	"testing"
 
 	"probnucleus/internal/graph"
+	"probnucleus/internal/par"
 	"probnucleus/internal/probgraph"
 )
 
@@ -74,5 +76,35 @@ func TestWorldsCount(t *testing.T) {
 	pg := probgraph.MustNew(2, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.5}})
 	if got := len(NewSampler(pg, 1).Worlds(37)); got != 37 {
 		t.Errorf("Worlds(37) = %d worlds", got)
+	}
+}
+
+// TestBankTap: the world-batch tap fires once per WorldMasks call with the
+// drawn world count and words per world, after the bank is filled, and a
+// nil tap changes nothing.
+func TestBankTap(t *testing.T) {
+	pg := probgraph.MustNew(4, []probgraph.ProbEdge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.9}, {U: 2, V: 3, P: 0.2},
+	})
+	pool := par.NewPool(1)
+	defer pool.Close()
+
+	var b Bank
+	ref, refWords := b.WorldMasks(pool, pg, 10, 3)
+	refCopy := append([]uint64(nil), ref...)
+
+	var tapped Bank
+	calls, worlds, words := 0, 0, 0
+	tapped.Tap = func(n, w int) { calls, worlds, words = calls+1, n, w }
+	got, gotWords := tapped.WorldMasks(pool, pg, 10, 3)
+	if calls != 1 || worlds != 10 || words != refWords {
+		t.Errorf("tap saw calls=%d worlds=%d words=%d, want 1/10/%d", calls, worlds, words, refWords)
+	}
+	if gotWords != refWords || !slices.Equal(got, refCopy) {
+		t.Errorf("tapped bank drew different masks than the untapped one")
+	}
+	tapped.WorldMasks(pool, pg, 4, 3)
+	if calls != 2 || worlds != 4 {
+		t.Errorf("second call: tap saw calls=%d worlds=%d, want 2/4", calls, worlds)
 	}
 }

@@ -1,0 +1,375 @@
+// Package obs provides the serving tier's observability primitives:
+// allocation-free per-stage counters, exponential latency/queue-wait
+// histograms, and the Observer hook surface the Engine threads through the
+// decomposition kernels.
+//
+// The contract mirrors the engine's arena discipline: observing an event
+// never allocates — Metrics is a fixed block of atomics — and a nil Observer
+// costs a single branch at every hook site, so the steady-state
+// decomposition paths are untouched when observability is off.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Semantics identifies which decomposition semantics a request asked for.
+type Semantics uint8
+
+const (
+	// SemLocal is an ℓ-NuDecomp request (Engine.Local).
+	SemLocal Semantics = iota
+	// SemGlobal is a g-NuDecomp request (Engine.Global).
+	SemGlobal
+	// SemWeak is a w-NuDecomp request (Engine.Weak).
+	SemWeak
+
+	// NumSemantics is the number of request semantics.
+	NumSemantics
+)
+
+// String returns the lower-case short name used in metrics output.
+func (s Semantics) String() string {
+	switch s {
+	case SemLocal:
+		return "local"
+	case SemGlobal:
+		return "global"
+	case SemWeak:
+		return "weak"
+	}
+	return "unknown"
+}
+
+// Reject classifies why a request failed to obtain a shard.
+type Reject uint8
+
+const (
+	// RejectOverload: the engine's admission bound was full, so the request
+	// failed fast instead of parking on the free list (ErrOverloaded).
+	RejectOverload Reject = iota
+	// RejectClosed: the engine was closed while the request waited
+	// (ErrEngineClosed).
+	RejectClosed
+	// RejectExpired: the request's context was cancelled or its deadline
+	// passed while it waited for a shard.
+	RejectExpired
+
+	// NumRejects is the number of rejection reasons.
+	NumRejects
+)
+
+// String returns the lower-case reason name used in metrics output.
+func (r Reject) String() string {
+	switch r {
+	case RejectOverload:
+		return "overload"
+	case RejectClosed:
+		return "closed"
+	case RejectExpired:
+		return "expired"
+	}
+	return "unknown"
+}
+
+// Observer receives the engine's lifecycle and kernel progress events. All
+// methods must be safe for concurrent use (shards call them from many
+// goroutines) and should be cheap — they sit on serving hot paths, gated
+// only by a nil check. Embed NopObserver to implement a subset.
+//
+// Per request the event order is: RequestAdmitted, then either
+// RequestStarted (a shard was acquired; queueWait is the free-list wait) or
+// RequestRejected (no shard: overload bound hit, engine closed, or context
+// expired while waiting), and after a started request runs,
+// RequestFinished. Kernel progress events — WorldBatch for each shared
+// Monte-Carlo bank draw, PeelRound per peeling step, Candidate per
+// validated global/weak candidate, PoolRound per worker-pool parallel
+// round — arrive between Started and Finished of the request that caused
+// them.
+type Observer interface {
+	// RequestAdmitted: the request passed validation and the admission bound
+	// and will run as soon as a shard frees up.
+	RequestAdmitted(s Semantics)
+	// RequestRejected: the request did not obtain a shard, for the given
+	// reason. Overload rejections are counted without a prior Admitted.
+	RequestRejected(s Semantics, r Reject)
+	// RequestStarted: a shard was acquired after waiting queueWait on the
+	// free list (0 when a shard was free immediately).
+	RequestStarted(s Semantics, queueWait time.Duration)
+	// RequestFinished: the decomposition returned after total wall-clock time
+	// (including the queue wait); failed reports a non-nil error, which for a
+	// started request means cancellation mid-run.
+	RequestFinished(s Semantics, total time.Duration, failed bool)
+	// WorldBatch: one shared Monte-Carlo world bank of `worlds` possible
+	// worlds × `words` mask words each was drawn.
+	WorldBatch(worlds, words int)
+	// PeelRound: one peeling step of the local decomposition fixed a
+	// triangle's nucleusness and re-scored `affected` neighbours.
+	PeelRound(affected int)
+	// Candidate: the global/weak pipeline validated one candidate of `tris`
+	// triangles against the shared world stream.
+	Candidate(tris int)
+	// PoolRound: one worker-pool parallel round processed `items` work items
+	// in wall-clock time d (the internal/par chunk-timing tap).
+	PoolRound(items int, d time.Duration)
+}
+
+// NopObserver implements Observer with no-ops; embed it to observe a subset
+// of the event surface.
+type NopObserver struct{}
+
+func (NopObserver) RequestAdmitted(Semantics)                      {}
+func (NopObserver) RequestRejected(Semantics, Reject)              {}
+func (NopObserver) RequestStarted(Semantics, time.Duration)        {}
+func (NopObserver) RequestFinished(Semantics, time.Duration, bool) {}
+func (NopObserver) WorldBatch(int, int)                            {}
+func (NopObserver) PeelRound(int)                                  {}
+func (NopObserver) Candidate(int)                                  {}
+func (NopObserver) PoolRound(int, time.Duration)                   {}
+
+// histBuckets is the histogram resolution: bucket b counts durations in
+// [2^(b-1), 2^b) nanoseconds, so 40 buckets span sub-ns to ~9 minutes.
+const histBuckets = 40
+
+// Histogram is a fixed-size exponential duration histogram with power-of-two
+// nanosecond buckets. Observing is two atomic adds plus a bit-length — no
+// allocation, no locks — so it can sit on request hot paths.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64 // nanoseconds
+	bkt   [histBuckets]atomic.Int64
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.bkt[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, JSON-ready.
+// Durations are reported in milliseconds; quantiles are upper bucket bounds
+// (exact to within a factor of two).
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	MeanMs  float64 `json:"meanMs"`
+	P50Ms   float64 `json:"p50Ms"`
+	P99Ms   float64 `json:"p99Ms"`
+	MaxMs   float64 `json:"maxMs"` // upper bound of the highest non-empty bucket
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may land between the atomic reads; each read is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMs = float64(h.sum.Load()) / float64(s.Count) / 1e6
+	var counts [histBuckets]int64
+	total := int64(0)
+	for b := range counts {
+		counts[b] = h.bkt[b].Load()
+		total += counts[b]
+	}
+	s.P50Ms = quantileMs(&counts, total, 0.50)
+	s.P99Ms = quantileMs(&counts, total, 0.99)
+	for b := histBuckets - 1; b >= 0; b-- {
+		if counts[b] > 0 {
+			s.MaxMs = bucketBoundMs(b)
+			break
+		}
+	}
+	s.Buckets = counts[:]
+	return s
+}
+
+// quantileMs returns the upper bound of the bucket containing the q-quantile.
+func quantileMs(counts *[histBuckets]int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	cum := int64(0)
+	for b := range counts {
+		cum += counts[b]
+		if cum >= rank {
+			return bucketBoundMs(b)
+		}
+	}
+	return bucketBoundMs(histBuckets - 1)
+}
+
+// bucketBoundMs is the exclusive upper bound of bucket b in milliseconds.
+func bucketBoundMs(b int) float64 {
+	return float64(uint64(1)<<uint(b)) / 1e6
+}
+
+// RequestStats is the per-semantics counter block of Metrics.
+type RequestStats struct {
+	Admitted  atomic.Int64
+	Started   atomic.Int64
+	Finished  atomic.Int64
+	Failed    atomic.Int64
+	Rejected  [NumRejects]atomic.Int64
+	QueueWait Histogram
+	Latency   Histogram
+}
+
+// Metrics is the batteries-included Observer: a fixed block of atomic
+// counters and histograms, safe for concurrent use and allocation-free to
+// update. The zero value is ready; hand it to the engine with WithObserver
+// and read it back with Snapshot.
+type Metrics struct {
+	req [NumSemantics]RequestStats
+
+	worldBatches atomic.Int64
+	worlds       atomic.Int64
+
+	peelRounds atomic.Int64
+	rescored   atomic.Int64
+
+	candidates    atomic.Int64
+	candidateTris atomic.Int64
+
+	poolRounds atomic.Int64
+	poolItems  atomic.Int64
+	poolNanos  atomic.Int64
+}
+
+var _ Observer = (*Metrics)(nil)
+
+func (m *Metrics) sem(s Semantics) *RequestStats {
+	if s >= NumSemantics {
+		s = 0
+	}
+	return &m.req[s]
+}
+
+func (m *Metrics) RequestAdmitted(s Semantics) { m.sem(s).Admitted.Add(1) }
+
+func (m *Metrics) RequestRejected(s Semantics, r Reject) {
+	if r >= NumRejects {
+		r = 0
+	}
+	m.sem(s).Rejected[r].Add(1)
+}
+
+func (m *Metrics) RequestStarted(s Semantics, queueWait time.Duration) {
+	st := m.sem(s)
+	st.Started.Add(1)
+	st.QueueWait.Observe(queueWait)
+}
+
+func (m *Metrics) RequestFinished(s Semantics, total time.Duration, failed bool) {
+	st := m.sem(s)
+	st.Finished.Add(1)
+	if failed {
+		st.Failed.Add(1)
+	}
+	st.Latency.Observe(total)
+}
+
+func (m *Metrics) WorldBatch(worlds, words int) {
+	m.worldBatches.Add(1)
+	m.worlds.Add(int64(worlds))
+	_ = words
+}
+
+func (m *Metrics) PeelRound(affected int) {
+	m.peelRounds.Add(1)
+	m.rescored.Add(int64(affected))
+}
+
+func (m *Metrics) Candidate(tris int) {
+	m.candidates.Add(1)
+	m.candidateTris.Add(int64(tris))
+}
+
+func (m *Metrics) PoolRound(items int, d time.Duration) {
+	m.poolRounds.Add(1)
+	m.poolItems.Add(int64(items))
+	m.poolNanos.Add(int64(d))
+}
+
+// RequestSnapshot is the JSON-ready view of one semantics' counters.
+type RequestSnapshot struct {
+	Semantics string            `json:"semantics"`
+	Admitted  int64             `json:"admitted"`
+	Started   int64             `json:"started"`
+	Finished  int64             `json:"finished"`
+	Failed    int64             `json:"failed"`
+	Rejected  map[string]int64  `json:"rejected,omitempty"`
+	QueueWait HistogramSnapshot `json:"queueWait"`
+	Latency   HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot is a point-in-time copy of Metrics, shaped for JSON rendering
+// (the /metrics endpoint of examples/engine-server) and CLI dumps
+// (nudecomp -stats).
+type Snapshot struct {
+	Requests []RequestSnapshot `json:"requests"`
+
+	WorldBatches int64 `json:"worldBatches"`
+	Worlds       int64 `json:"worlds"`
+
+	PeelRounds int64 `json:"peelRounds"`
+	Rescored   int64 `json:"rescoredTriangles"`
+
+	Candidates    int64 `json:"candidates"`
+	CandidateTris int64 `json:"candidateTriangles"`
+
+	PoolRounds int64   `json:"poolRounds"`
+	PoolItems  int64   `json:"poolItems"`
+	PoolTimeMs float64 `json:"poolTimeMs"`
+}
+
+// Snapshot copies the metrics' current state. Counters are read
+// individually, so a snapshot taken under load is consistent per field, not
+// across fields.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		WorldBatches:  m.worldBatches.Load(),
+		Worlds:        m.worlds.Load(),
+		PeelRounds:    m.peelRounds.Load(),
+		Rescored:      m.rescored.Load(),
+		Candidates:    m.candidates.Load(),
+		CandidateTris: m.candidateTris.Load(),
+		PoolRounds:    m.poolRounds.Load(),
+		PoolItems:     m.poolItems.Load(),
+		PoolTimeMs:    float64(m.poolNanos.Load()) / 1e6,
+	}
+	for sem := Semantics(0); sem < NumSemantics; sem++ {
+		st := &m.req[sem]
+		rs := RequestSnapshot{
+			Semantics: sem.String(),
+			Admitted:  st.Admitted.Load(),
+			Started:   st.Started.Load(),
+			Finished:  st.Finished.Load(),
+			Failed:    st.Failed.Load(),
+			QueueWait: st.QueueWait.Snapshot(),
+			Latency:   st.Latency.Snapshot(),
+		}
+		for r := Reject(0); r < NumRejects; r++ {
+			if n := st.Rejected[r].Load(); n > 0 {
+				if rs.Rejected == nil {
+					rs.Rejected = make(map[string]int64, int(NumRejects))
+				}
+				rs.Rejected[r.String()] = n
+			}
+		}
+		s.Requests = append(s.Requests, rs)
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Nanosecond)       // bucket 1
+	h.Observe(100 * time.Nanosecond) // bucket 7: [64,128)
+	h.Observe(time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	total := int64(0)
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("bucket total = %d, want 5", total)
+	}
+	if s.Buckets[7] != 1 {
+		t.Errorf("bucket 7 = %d, want 1 (100ns)", s.Buckets[7])
+	}
+	// 1ms lands in bucket 20: 2^19 = 524288 ≤ 1e6 < 2^20.
+	if s.Buckets[20] != 1 {
+		t.Errorf("bucket 20 = %d, want 1 (1ms)", s.Buckets[20])
+	}
+	if s.MaxMs < 1 || s.MaxMs > 2.1 {
+		t.Errorf("MaxMs = %v, want the 1ms bucket bound (≈1.05)", s.MaxMs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	s := h.Snapshot()
+	// P50 is in the µs range; P99 must reach the 1s tail's bucket.
+	if s.P50Ms > 0.01 {
+		t.Errorf("P50Ms = %v, want ≤ 0.01 (µs-range)", s.P50Ms)
+	}
+	if s.P99Ms < 500 {
+		t.Errorf("P99Ms = %v, want ≥ 500 (the 1s tail)", s.P99Ms)
+	}
+	if s.MeanMs < 90 || s.MeanMs > 110 {
+		t.Errorf("MeanMs = %v, want ≈100", s.MeanMs)
+	}
+}
+
+func TestHistogramHugeDurationCapped(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * 24 * time.Hour) // beyond the top bucket bound
+	s := h.Snapshot()
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Errorf("huge duration not capped into the top bucket")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	var m Metrics
+	m.RequestAdmitted(SemLocal)
+	m.RequestStarted(SemLocal, 2*time.Millisecond)
+	m.RequestFinished(SemLocal, 10*time.Millisecond, false)
+	m.RequestAdmitted(SemGlobal)
+	m.RequestRejected(SemGlobal, RejectExpired)
+	m.RequestRejected(SemWeak, RejectOverload)
+	m.WorldBatch(100, 4)
+	m.WorldBatch(50, 4)
+	m.PeelRound(7)
+	m.Candidate(12)
+	m.PoolRound(512, time.Millisecond)
+
+	s := m.Snapshot()
+	if len(s.Requests) != int(NumSemantics) {
+		t.Fatalf("snapshot has %d request rows, want %d", len(s.Requests), NumSemantics)
+	}
+	local := s.Requests[SemLocal]
+	if local.Semantics != "local" || local.Admitted != 1 || local.Started != 1 || local.Finished != 1 || local.Failed != 0 {
+		t.Errorf("local row = %+v", local)
+	}
+	if local.QueueWait.Count != 1 || local.Latency.Count != 1 {
+		t.Errorf("local histograms: queueWait=%d latency=%d, want 1/1", local.QueueWait.Count, local.Latency.Count)
+	}
+	if got := s.Requests[SemGlobal].Rejected["expired"]; got != 1 {
+		t.Errorf("global expired rejections = %d, want 1", got)
+	}
+	if got := s.Requests[SemWeak].Rejected["overload"]; got != 1 {
+		t.Errorf("weak overload rejections = %d, want 1", got)
+	}
+	if s.WorldBatches != 2 || s.Worlds != 150 {
+		t.Errorf("worlds: batches=%d worlds=%d, want 2/150", s.WorldBatches, s.Worlds)
+	}
+	if s.PeelRounds != 1 || s.Rescored != 7 {
+		t.Errorf("peel: rounds=%d rescored=%d, want 1/7", s.PeelRounds, s.Rescored)
+	}
+	if s.Candidates != 1 || s.CandidateTris != 12 {
+		t.Errorf("candidates: %d/%d, want 1/12", s.Candidates, s.CandidateTris)
+	}
+	if s.PoolRounds != 1 || s.PoolItems != 512 || s.PoolTimeMs < 0.9 {
+		t.Errorf("pool: rounds=%d items=%d timeMs=%v", s.PoolRounds, s.PoolItems, s.PoolTimeMs)
+	}
+}
+
+// TestMetricsConcurrent drives every hook from many goroutines; run under
+// -race (scripts/ci.sh does) this is the concurrency contract of the
+// observer surface.
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sem := Semantics(g % int(NumSemantics))
+			for i := 0; i < iters; i++ {
+				m.RequestAdmitted(sem)
+				m.RequestStarted(sem, time.Duration(i))
+				m.PeelRound(i)
+				m.WorldBatch(1, 1)
+				m.PoolRound(i, time.Duration(i))
+				m.Candidate(i)
+				m.RequestFinished(sem, time.Duration(i), i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	var admitted int64
+	for _, r := range s.Requests {
+		admitted += r.Admitted
+	}
+	if admitted != goroutines*iters {
+		t.Errorf("admitted = %d, want %d", admitted, goroutines*iters)
+	}
+	if s.PeelRounds != goroutines*iters {
+		t.Errorf("peelRounds = %d, want %d", s.PeelRounds, goroutines*iters)
+	}
+}
+
+// TestObserveAllocationFree: the Metrics hooks must not allocate — they sit
+// on the serving hot paths under the same arena discipline as the kernels.
+func TestObserveAllocationFree(t *testing.T) {
+	var m Metrics
+	allocs := testing.AllocsPerRun(200, func() {
+		m.RequestAdmitted(SemGlobal)
+		m.RequestStarted(SemGlobal, time.Millisecond)
+		m.WorldBatch(100, 7)
+		m.PeelRound(3)
+		m.Candidate(9)
+		m.PoolRound(64, time.Microsecond)
+		m.RequestFinished(SemGlobal, time.Millisecond, false)
+	})
+	if allocs != 0 {
+		t.Errorf("observing allocates %v per event batch, want 0", allocs)
+	}
+}
+
+func TestNopObserverImplements(t *testing.T) {
+	var o Observer = NopObserver{}
+	o.RequestAdmitted(SemLocal)
+	o.RequestRejected(SemLocal, RejectOverload)
+	o.RequestStarted(SemLocal, 0)
+	o.RequestFinished(SemLocal, 0, false)
+	o.WorldBatch(0, 0)
+	o.PeelRound(0)
+	o.Candidate(0)
+	o.PoolRound(0, 0)
+}
+
+func TestStringNames(t *testing.T) {
+	if SemLocal.String() != "local" || SemGlobal.String() != "global" || SemWeak.String() != "weak" {
+		t.Error("semantics names wrong")
+	}
+	if Semantics(200).String() != "unknown" || Reject(200).String() != "unknown" {
+		t.Error("out-of-range names should be unknown")
+	}
+	if RejectOverload.String() != "overload" || RejectClosed.String() != "closed" || RejectExpired.String() != "expired" {
+		t.Error("reject names wrong")
+	}
+}

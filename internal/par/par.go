@@ -14,6 +14,7 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a requested worker count: values < 1 mean "use all
@@ -61,6 +62,10 @@ type Pool struct {
 	// recheck it between chunk claims, so a cancelled round stops issuing
 	// new chunks promptly. Published to helpers by the wake sends.
 	ctx context.Context
+
+	// tap, when non-nil, is invoked by the caller goroutine after every
+	// For/ForWorker round — the engine's chunk-timing observability hook.
+	tap Tap
 
 	// Per-round state, published to helpers by the wake sends.
 	n     int
@@ -121,6 +126,17 @@ func (p *Pool) Err() error {
 	return p.ctx.Err()
 }
 
+// Tap observes one completed parallel round: items is the round's index
+// range and d its wall-clock duration as seen by the caller goroutine.
+type Tap func(items int, d time.Duration)
+
+// SetTap attaches (or, with nil, detaches) the pool's round tap. The tap is
+// invoked synchronously by the caller goroutine after every For/ForWorker
+// round with n > 0, so it needs no internal synchronization beyond what the
+// tap itself does; a nil tap costs one branch per round. Like Bind, SetTap
+// must not overlap a running round.
+func (p *Pool) SetTap(t Tap) { p.tap = t }
+
 // For runs fn(i) for every i in [0, n) on the pool's workers.
 func (p *Pool) For(n int, fn func(i int)) {
 	p.ForWorker(n, func(_, i int) { fn(i) })
@@ -134,6 +150,17 @@ func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	if p.tap != nil {
+		start := time.Now()
+		p.forWorker(n, fn)
+		p.tap(n, time.Since(start))
+		return
+	}
+	p.forWorker(n, fn)
+}
+
+// forWorker is the tap-free round body of ForWorker.
+func (p *Pool) forWorker(n int, fn func(worker, i int)) {
 	if p.workers == 1 || n == 1 {
 		if p.ctx == nil {
 			for i := 0; i < n; i++ {

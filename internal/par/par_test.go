@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolPerIndexWrites(t *testing.T) {
@@ -109,6 +110,41 @@ func TestPoolPreCancelled(t *testing.T) {
 		p.ForWorker(1<<12, func(_, i int) { ran.Add(1) })
 		if got := ran.Load(); got != 0 {
 			t.Errorf("workers=%d: pre-cancelled round processed %d indices, want 0", workers, got)
+		}
+		p.Close()
+	}
+}
+
+// TestPoolTap: an attached tap sees every round's item count and a
+// plausible duration, results are unchanged, and detaching stops the
+// callbacks — the observability contract of the engine's chunk-timing hook.
+func TestPoolTap(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var rounds, items atomic.Int64
+		p.SetTap(func(n int, d time.Duration) {
+			rounds.Add(1)
+			items.Add(int64(n))
+			if d < 0 {
+				t.Errorf("workers=%d: negative round duration %v", workers, d)
+			}
+		})
+		var sum atomic.Int64
+		const n = 1000
+		p.ForWorker(n, func(_, i int) { sum.Add(int64(i)) })
+		p.For(n, func(i int) { sum.Add(int64(i)) })
+		p.ForWorker(0, func(_, i int) { t.Error("n=0 round ran") })
+		if got := sum.Load(); got != n*(n-1) {
+			t.Errorf("workers=%d: tapped rounds computed %d, want %d", workers, got, n*(n-1))
+		}
+		if rounds.Load() != 2 || items.Load() != 2*n {
+			t.Errorf("workers=%d: tap saw %d rounds / %d items, want 2 / %d",
+				workers, rounds.Load(), items.Load(), 2*n)
+		}
+		p.SetTap(nil)
+		p.For(n, func(i int) {})
+		if rounds.Load() != 2 {
+			t.Errorf("workers=%d: tap fired after SetTap(nil)", workers)
 		}
 		p.Close()
 	}

@@ -50,6 +50,7 @@ import (
 	"probnucleus/internal/graph"
 	"probnucleus/internal/mc"
 	"probnucleus/internal/metrics"
+	"probnucleus/internal/obs"
 	"probnucleus/internal/pbd"
 	"probnucleus/internal/probcore"
 	"probnucleus/internal/probgraph"
@@ -167,7 +168,40 @@ type NucleiRequest = core.NucleiRequest
 // one) of workersPerShard workers each (0 = all cores, 1 = serial). Shards
 // bound request concurrency, workersPerShard per-request parallelism;
 // serving setups typically pick shards × workersPerShard ≈ GOMAXPROCS.
-func NewEngine(shards, workersPerShard int) *Engine { return core.NewEngine(shards, workersPerShard) }
+// Options bound the admission queue (WithMaxQueue) and attach an observer
+// (WithObserver).
+func NewEngine(shards, workersPerShard int, opts ...EngineOption) *Engine {
+	return core.NewEngine(shards, workersPerShard, opts...)
+}
+
+// EngineOption configures NewEngine.
+type EngineOption = core.EngineOption
+
+// WithMaxQueue bounds admission: at most n requests wait for a free shard;
+// request n+1 fails fast with ErrOverloaded instead of queueing (serve it as
+// HTTP 503). n = 0 rejects whenever every shard is busy; a negative n — the
+// default — queues without bound.
+func WithMaxQueue(n int) EngineOption { return core.WithMaxQueue(n) }
+
+// WithObserver attaches an EngineObserver to every stage of the engine:
+// request admission/queue-wait/latency per semantics, Monte-Carlo world
+// batches, peel rounds, candidate validation, and worker-pool rounds. A nil
+// observer (the default) costs nothing on the hot paths.
+func WithObserver(o EngineObserver) EngineOption { return core.WithObserver(o) }
+
+// EngineObserver receives engine lifecycle and kernel progress events. All
+// methods may be called concurrently; implementations must be cheap and
+// allocation-free — they run inside the serving hot paths. EngineMetrics is
+// the ready-made aggregating implementation.
+type EngineObserver = obs.Observer
+
+// EngineMetrics is an allocation-free EngineObserver aggregating counters
+// and power-of-two latency histograms; the zero value is ready to use.
+// Attach with WithObserver(new(EngineMetrics)) and read via Snapshot.
+type EngineMetrics = obs.Metrics
+
+// EngineSnapshot is a JSON-ready point-in-time copy of EngineMetrics.
+type EngineSnapshot = obs.Snapshot
 
 // Sentinel validation errors, matched with errors.Is against anything the
 // decomposition entry points or the request Validate methods return.
@@ -182,6 +216,10 @@ var (
 	// ErrEngineClosed reports a request that was still waiting for a shard
 	// when its Engine was closed.
 	ErrEngineClosed = core.ErrEngineClosed
+	// ErrOverloaded reports a request rejected by a WithMaxQueue admission
+	// bound: every shard was busy and the wait queue was full. Map it to
+	// HTTP 503 and retry with backoff.
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // Decomposer bundles LocalDecompose, GlobalNuclei, and WeaklyGlobalNuclei

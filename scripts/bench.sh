@@ -12,6 +12,9 @@
 #     commit on the current runner, with flickr added to the benchmark set).
 #   - BenchmarkEngineReuse rows carry no historical baseline: the comparison
 #     is internal (bank-reusing warm Engine shard vs the per-call path).
+#   - BenchmarkEngineContended rows carry no historical baseline either: the
+#     comparison is internal (observer=metrics vs observer=nil under
+#     contention; the observed row must stay within a few percent).
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -19,14 +22,14 @@
 #
 # Environment:
 #   BENCH_PATTERN  go test -bench regexp
-#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse)$')
+#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended)$')
 #   BENCHTIME      go test -benchtime      (default 3x)
 #   BENCH_OUT      output JSON path        (default BENCH_local.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse)\$}"
+pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended)\$}"
 benchtime="${BENCHTIME:-3x}"
 out="${BENCH_OUT:-BENCH_local.json}"
 
@@ -83,7 +86,7 @@ BEGIN {
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse\",\n"
+    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"baseline_commit\": \"ae2043f (local rows) / bfdd6f3 (global+weak rows)\",\n"
     printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-shared-world engine (per-candidate world resampling, full per-world bucket-queue peels)\",\n"

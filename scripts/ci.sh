@@ -46,10 +46,14 @@ go test -race "$pkgs"
 # The serving engine's concurrency contract gets extra scheduling variation
 # beyond the one -race pass above: repeated runs of the stress test (N
 # goroutines × mixed local/global/weak on shared shards, byte-compared
-# against the package-level functions) plus the cancellation tests that
-# prove a cancelled shard is reusable.
-echo "==> go test -race engine stress (concurrent serving)"
-go test -race -count=2 -run 'TestEngineConcurrentStress|TestEngineCancellation|TestEngineDeadline' ./internal/core
+# against the package-level functions), the cancellation tests that prove a
+# cancelled shard is reusable, and the overload/shutdown tests — bounded
+# admission rejecting with ErrOverloaded while saturated, idempotent Close
+# racing in-flight traffic — that back the 503/graceful-drain behaviour of
+# examples/engine-server (whose httptest suite re-runs under -race too).
+echo "==> go test -race engine stress (concurrent serving + overload/shutdown)"
+go test -race -count=2 -run 'TestEngineConcurrentStress|TestEngineCancellation|TestEngineDeadline|TestEngineOverload|TestEngineCloseIdempotent|TestEngineConcurrentCloseStress' ./internal/core
+go test -race -count=2 ./examples/engine-server
 
 echo "==> goldendump -check (global/weak snapshot)"
 go run ./cmd/goldendump -check
