@@ -3,11 +3,13 @@
 // engine was designed for. Every request checks out a shard under a
 // per-request timeout context; cancelled or expired requests return 504 and
 // release their shard promptly, malformed parameters are rejected with 400
-// via the sentinel errors, admission-bound overloads return 503
-// (Retry-After), and concurrent queries across the three semantics never
-// block the whole process behind one big decomposition. /metrics exposes the
-// engine's request ledger and latency histograms as JSON, and SIGINT/SIGTERM
-// drain in-flight requests before the engine is closed.
+// via the sentinel errors, admission-bound overloads and deadline-doomed
+// requests return 503 with a Retry-After computed from the live queue-wait
+// and latency medians, and a panicking decomposition returns 500 while the
+// engine quarantines and rebuilds the shard that ran it — the process stays
+// up. /metrics exposes the engine's request ledger and latency histograms as
+// JSON, /healthz its capacity and shard-supervision counters, and
+// SIGINT/SIGTERM drain in-flight requests before the engine is closed.
 //
 // Run it and issue concurrent queries:
 //
@@ -16,6 +18,7 @@
 //	curl 'localhost:8080/nuclei?semantics=global&k=1&theta=0.001&samples=100' &
 //	curl 'localhost:8080/nuclei?semantics=weak&k=1&theta=0.001&samples=100' &
 //	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/healthz'
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os/signal"
@@ -103,12 +107,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/local", s.handleLocal)
 	mux.HandleFunc("/nuclei", s.handleNuclei)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
-func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
+// parseLocalQuery builds the /local request from URL parameters; any
+// malformed parameter is an error (served as 400), never a silent default.
+func parseLocalQuery(r *http.Request) (pn.LocalRequest, error) {
 	q := query{r: r}
 	req := pn.LocalRequest{Theta: q.float("theta", 0.3)}
 	switch mode := r.URL.Query().Get("mode"); mode {
@@ -117,16 +122,22 @@ func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
 	case "ap":
 		req.Mode = pn.ModeAP
 	default:
-		http.Error(w, "mode must be dp or ap, got "+strconv.Quote(mode), http.StatusBadRequest)
-		return
+		q.fail("mode must be dp or ap, got %q", mode)
 	}
-	if q.err != nil {
-		http.Error(w, q.err.Error(), http.StatusBadRequest)
+	return req, q.err
+}
+
+func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	req, err := parseLocalQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	res, err := s.eng.Local(ctx, s.pg, req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	maxK := res.MaxNucleusness()
@@ -138,9 +149,10 @@ func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleNuclei(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
+// parseNucleiQuery builds the /nuclei request and resolved semantics
+// ("global" or "weak") from URL parameters; any malformed parameter is an
+// error (served as 400), never a silent default.
+func parseNucleiQuery(r *http.Request) (pn.NucleiRequest, string, error) {
 	q := query{r: r}
 	req := pn.NucleiRequest{
 		K:       q.int("k", 1),
@@ -150,25 +162,33 @@ func (s *server) handleNuclei(w http.ResponseWriter, r *http.Request) {
 		Delta:   q.float("delta", 0),
 		Seed:    q.int64("seed", 1),
 	}
-	if q.err != nil {
-		http.Error(w, q.err.Error(), http.StatusBadRequest)
+	sem := r.URL.Query().Get("semantics")
+	switch sem {
+	case "":
+		sem = "global"
+	case "global", "weak":
+	default:
+		q.fail("semantics must be global or weak, got %q", sem)
+	}
+	return req, sem, q.err
+}
+
+func (s *server) handleNuclei(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	req, sem, err := parseNucleiQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var (
-		nuclei []pn.ProbNucleus
-		err    error
-	)
-	switch sem := r.URL.Query().Get("semantics"); sem {
-	case "", "global":
-		nuclei, err = s.eng.Global(ctx, s.pg, req)
-	case "weak":
+	var nuclei []pn.ProbNucleus
+	if sem == "weak" {
 		nuclei, err = s.eng.Weak(ctx, s.pg, req)
-	default:
-		http.Error(w, "semantics must be global or weak, got "+strconv.Quote(sem), http.StatusBadRequest)
-		return
+	} else {
+		nuclei, err = s.eng.Global(ctx, s.pg, req)
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	summaries := make([]map[string]any, len(nuclei))
@@ -190,19 +210,66 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.metrics.Snapshot())
 }
 
+// handleHealthz serves the engine's readiness: shard capacity, queue depth
+// against its bound, and the quarantine/rebuild supervision counters. A
+// closed engine answers 503 so load balancers stop routing to a draining
+// process; everything else — including an engine mid-rebuild, which still
+// serves on its remaining shards — is 200.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.eng.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Closed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(h); err != nil {
+		log.Printf("encode healthz: %v", err)
+	}
+}
+
+// retryAfter estimates, from the live metrics snapshot, how long a rejected
+// client should wait before retrying: the worst per-semantics median
+// queue-wait plus median service latency, rounded up to whole seconds and
+// clamped to [1, 30]. A cold ledger (no finished requests yet) yields the
+// 1-second floor.
+func (s *server) retryAfter() string {
+	snap := s.metrics.Snapshot()
+	var worstMs float64
+	for _, req := range snap.Requests {
+		if req.Latency.Count == 0 {
+			continue
+		}
+		if ms := req.QueueWait.P50Ms + req.Latency.P50Ms; ms > worstMs {
+			worstMs = ms
+		}
+	}
+	secs := int(math.Ceil(worstMs / 1000))
+	if secs < 1 {
+		secs = 1
+	} else if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeError maps engine failures onto HTTP statuses: validation failures
 // (the sentinel errors) are the client's fault, expired or abandoned
-// contexts are timeouts, an admission-bound overload or a closing engine is
-// a retryable 503, anything else is a server error.
-func writeError(w http.ResponseWriter, err error) {
+// contexts are timeouts, a request the engine refused to run — overload,
+// deadline-doomed, or a closing engine — is a 503 whose Retry-After comes
+// from the observed queue-wait/latency medians, and a contained panic
+// (ErrInternal) is a 500 without retry advice: the engine already
+// quarantined the shard and retrying the same request will likely panic
+// again.
+func (s *server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pn.ErrTheta), errors.Is(err, pn.ErrNegativeK), errors.Is(err, pn.ErrBadSampleSpec):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-	case errors.Is(err, pn.ErrOverloaded), errors.Is(err, pn.ErrEngineClosed):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, pn.ErrOverloaded), errors.Is(err, pn.ErrEngineClosed), errors.Is(err, pn.ErrDoomed):
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, pn.ErrInternal):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

@@ -73,9 +73,20 @@ func (d *Decomposer) InitialKappa(pg *probgraph.Graph, theta float64, opts Optio
 	if err != nil {
 		return nil, nil, err
 	}
-	defer d.eng.release(s)
-	opts.Pool = s.pool
-	return InitialKappa(pg, theta, opts)
+	var (
+		ti    *graph.TriangleIndex
+		kappa []int
+	)
+	err = d.eng.guarded(s, obs.SemLocal, func() error {
+		opts.Pool = s.pool
+		var kerr error
+		ti, kappa, kerr = InitialKappa(pg, theta, opts)
+		return kerr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ti, kappa, nil
 }
 
 // GlobalNuclei is core.GlobalNuclei on the decomposer's shard.

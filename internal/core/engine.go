@@ -136,9 +136,19 @@ func WithObserver(o obs.Observer) EngineOption {
 // and worker count. Cancellation is checked between worker-pool chunks and
 // Monte-Carlo world batches: a cancelled call returns ctx.Err() promptly and
 // its shard goes straight back on the free list, reusable.
+//
+// The engine also survives its own bugs: a panic anywhere in a request —
+// kernel serial sections, worker-pool rounds, observer hooks — is contained
+// and surfaced as ErrInternal instead of crashing the process, and the shard
+// that ran the panicking request is quarantined (its pool, bank, and scratch
+// discarded) while a fresh replacement is rebuilt asynchronously, so
+// corrupted state never leaks into a later request and capacity self-heals.
 type Engine struct {
-	free   chan *engineShard
-	shards []*engineShard
+	free chan *engineShard
+	// nshards/workersPer record the construction geometry; shards are
+	// rebuilt from them after a quarantine.
+	nshards    int
+	workersPer int
 	// closed is closed by Close so acquirers blocked on the free list fail
 	// with ErrEngineClosed instead of waiting forever for shards that will
 	// never return.
@@ -148,10 +158,25 @@ type Engine struct {
 	// obs receives lifecycle and kernel progress events; nil when the engine
 	// was built without WithObserver.
 	obs obs.Observer
+	// latency, when the observer can answer median-latency probes
+	// (obs.Metrics does), feeds deadline-aware admission; nil disables it.
+	latency latencySource
 	// maxQueue bounds how many requests may wait for a shard (< 0 =
 	// unbounded); waiters tracks how many currently do.
 	maxQueue int
 	waiters  atomic.Int64
+	// quarantined/rebuilt count shard-supervision events (Health): their
+	// difference is the number of shard rebuilds still in flight.
+	quarantined atomic.Int64
+	rebuilt     atomic.Int64
+}
+
+// latencySource is the capability deadline-aware admission needs from the
+// observer: the observed median service latency per semantics and the sample
+// count behind it. *obs.Metrics implements it, and wrapping observers (the
+// fault-injection harness) forward it.
+type latencySource interface {
+	LatencyP50(s obs.Semantics) (time.Duration, int64)
 }
 
 // engineShard is one unit of serving capacity: a parked worker team plus the
@@ -179,40 +204,94 @@ func NewEngine(shards, workersPerShard int, opts ...EngineOption) *Engine {
 		opt(&cfg)
 	}
 	e := &Engine{
-		free:     make(chan *engineShard, shards),
-		shards:   make([]*engineShard, shards),
-		closed:   make(chan struct{}),
-		obs:      cfg.obs,
-		maxQueue: cfg.maxQueue,
+		free:       make(chan *engineShard, shards),
+		nshards:    shards,
+		workersPer: workersPerShard,
+		closed:     make(chan struct{}),
+		obs:        cfg.obs,
+		maxQueue:   cfg.maxQueue,
 	}
-	for i := range e.shards {
-		s := &engineShard{pool: par.NewPool(workersPerShard)}
-		if e.obs != nil {
-			s.pool.SetTap(e.obs.PoolRound)
-			s.bank.Tap = e.obs.WorldBatch
-		}
-		e.shards[i] = s
-		e.free <- s
+	if src, ok := cfg.obs.(latencySource); ok {
+		e.latency = src
+	}
+	for i := 0; i < shards; i++ {
+		e.free <- e.newShard()
 	}
 	return e
 }
 
+// newShard builds one unit of serving capacity wired to the engine's
+// observer — used at construction and to replace quarantined shards.
+func (e *Engine) newShard() *engineShard {
+	s := &engineShard{pool: par.NewPool(e.workersPer)}
+	if e.obs != nil {
+		s.pool.SetTap(e.obs.PoolRound)
+		s.bank.Tap = e.obs.WorldBatch
+	}
+	return s
+}
+
 // Shards returns the number of shards — the maximum number of requests the
 // engine serves simultaneously.
-func (e *Engine) Shards() int { return len(e.shards) }
+func (e *Engine) Shards() int { return e.nshards }
 
 // Workers returns the per-shard worker count.
-func (e *Engine) Workers() int { return e.shards[0].pool.Workers() }
+func (e *Engine) Workers() int { return par.Workers(e.workersPer) }
+
+// Health is a point-in-time view of the engine's serving capacity, shaped
+// for readiness endpoints (the /healthz handler of examples/engine-server).
+type Health struct {
+	// Shards is the total serving capacity; Free counts shards currently
+	// idle on the free list (a racy snapshot: in-flight requests and
+	// rebuilds move shards concurrently).
+	Shards int `json:"shards"`
+	Free   int `json:"freeShards"`
+	// Workers is the per-shard worker count.
+	Workers int `json:"workersPerShard"`
+	// Queued counts requests waiting for a shard right now, against the
+	// admission bound MaxQueue (-1 = unbounded).
+	Queued   int64 `json:"queued"`
+	MaxQueue int   `json:"maxQueue"`
+	// Quarantined and Rebuilt count shard-supervision events since the
+	// engine was built; Quarantined - Rebuilt rebuilds are still in flight.
+	Quarantined int64 `json:"quarantined"`
+	Rebuilt     int64 `json:"rebuilt"`
+	// Closed reports whether Close has begun; a closed engine rejects all
+	// traffic with ErrEngineClosed.
+	Closed bool `json:"closed"`
+}
+
+// Health snapshots the engine's capacity and supervision counters. It is
+// safe to call concurrently with traffic and after Close.
+func (e *Engine) Health() Health {
+	h := Health{
+		Shards:      e.nshards,
+		Free:        len(e.free),
+		Workers:     e.Workers(),
+		Queued:      e.waiters.Load(),
+		MaxQueue:    e.maxQueue,
+		Quarantined: e.quarantined.Load(),
+		Rebuilt:     e.rebuilt.Load(),
+	}
+	select {
+	case <-e.closed:
+		h.Closed = true
+	default:
+	}
+	return h
+}
 
 // Close waits for in-flight requests to finish, then releases every shard's
 // worker team. Requests still waiting for a shard fail with ErrEngineClosed
 // (a request that wins the race for a releasing shard is still served).
 // Close is idempotent: concurrent and repeated calls are no-ops that wait
-// for the first close to finish. The engine must not be used afterwards.
+// for the first close to finish. A close racing a quarantine rebuild waits
+// for the replacement shard and reclaims it like any other, so no worker
+// goroutine outlives Close. The engine must not be used afterwards.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		close(e.closed)
-		for range e.shards {
+		for i := 0; i < e.nshards; i++ {
 			s := <-e.free
 			s.pool.Close()
 		}
@@ -237,16 +316,22 @@ func (e *Engine) acquire(ctx context.Context, sem obs.Semantics) (*engineShard, 
 			e.obs.RequestStarted(sem, 0)
 		}
 	default:
-		// No shard free: the request must queue. Admission bound first —
-		// beyond maxQueue waiters the engine is overloaded and the request
-		// fails fast rather than parking unboundedly.
+		// No shard free: the request must queue. Deadline-aware shedding
+		// first — a request that cannot finish inside its deadline anyway
+		// should not take a queue slot from one that can.
+		if err := e.shedDoomed(ctx, sem); err != nil {
+			return nil, err
+		}
+		// Admission bound next — beyond maxQueue waiters the engine is
+		// overloaded and the request fails fast rather than parking
+		// unboundedly.
 		if e.maxQueue >= 0 && e.waiters.Add(1) > int64(e.maxQueue) {
 			e.waiters.Add(-1)
 			if e.obs != nil {
 				e.obs.RequestRejected(sem, obs.RejectOverload)
 			}
 			return nil, fmt.Errorf("core: %d shards busy, %d waiting: %w",
-				len(e.shards), e.maxQueue, ErrOverloaded)
+				e.nshards, e.maxQueue, ErrOverloaded)
 		}
 		if e.maxQueue < 0 {
 			e.waiters.Add(1)
@@ -280,9 +365,92 @@ func (e *Engine) acquire(ctx context.Context, sem obs.Semantics) (*engineShard, 
 	return s, nil
 }
 
+// doomedShedMinSamples is how many finished requests of a semantics the
+// engine must have observed before deadline-aware admission trusts the
+// median latency enough to shed queued requests against it.
+const doomedShedMinSamples = 16
+
+// shedDoomed rejects a request that would have to queue although its
+// remaining deadline is below the observed median service latency for its
+// semantics — it would almost certainly expire mid-run, wasting the shard
+// it eventually got. Only engines whose observer answers latency probes
+// (obs.Metrics) shed, and only once enough requests have been observed.
+func (e *Engine) shedDoomed(ctx context.Context, sem obs.Semantics) error {
+	if e.latency == nil {
+		return nil
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	p50, n := e.latency.LatencyP50(sem)
+	if n < doomedShedMinSamples || p50 <= 0 {
+		return nil
+	}
+	if remaining := time.Until(deadline); remaining < p50 {
+		if e.obs != nil {
+			e.obs.RequestRejected(sem, obs.RejectDoomed)
+		}
+		return fmt.Errorf("core: %v remaining before the deadline, observed p50 %s latency %v: %w",
+			remaining, sem, p50, ErrDoomed)
+	}
+	return nil
+}
+
 // release unbinds the shard's context and returns it to the free list.
 func (e *Engine) release(s *engineShard) {
 	s.pool.Bind(nil)
+	e.free <- s
+}
+
+// guarded runs one request body with panic containment: a normal return
+// (including a cancellation error) releases the shard for reuse, while a
+// panic — from the kernel's serial sections, a worker-pool round
+// (surfacing as *par.PanicError), or an observer hook — quarantines the
+// shard instead of returning its possibly-corrupted scratch to the free
+// list, and comes back as an *InternalError matching ErrInternal. The
+// process never crashes, and a poisoned shard never serves a second
+// request.
+func (e *Engine) guarded(s *engineShard, sem obs.Semantics, body func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newInternalError(r)
+			if e.obs != nil {
+				e.obs.RequestPanicked(sem)
+			}
+			e.quarantine(s)
+			return
+		}
+		e.release(s)
+	}()
+	return body()
+}
+
+// quarantine pulls a shard whose request panicked out of service — its
+// pool, world-mask bank, and grown scratch are suspect — and starts an
+// asynchronous rebuild so serving capacity self-heals.
+func (e *Engine) quarantine(s *engineShard) {
+	e.quarantined.Add(1)
+	if e.obs != nil {
+		e.obs.ShardQuarantined()
+	}
+	go e.rebuild(s)
+}
+
+// rebuild runs on its own goroutine per quarantined shard: it discards the
+// old shard entirely (the pool is structurally quiescent after the
+// round-level recover, so closing it releases its helpers without racing
+// the panicked round) and returns a fresh replacement to the free list.
+// Engine.Close drains the replacement like any other shard, so a close
+// racing a rebuild still reclaims every worker goroutine.
+func (e *Engine) rebuild(old *engineShard) {
+	old.pool.Bind(nil)
+	old.pool.Close()
+	s := e.newShard()
+	e.rebuilt.Add(1)
+	if e.obs != nil {
+		e.obs.ShardRebuilt()
+	}
 	e.free <- s
 }
 
@@ -304,7 +472,8 @@ func (e *Engine) now() time.Time {
 
 // Local answers one ℓ-NuDecomp request on a free shard. The result is
 // byte-identical to LocalDecompose at the same θ/Mode/Hyper; a cancelled ctx
-// makes it return ctx.Err() instead.
+// makes it return ctx.Err() instead, and a panicking decomposition returns
+// ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalRequest) (*LocalResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -314,14 +483,21 @@ func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalReques
 	if err != nil {
 		return nil, err
 	}
-	defer e.release(s)
-	res, err := localDecompose(pg, req.Theta, Options{
-		Mode:         req.Mode,
-		Hyper:        req.Hyper,
-		MethodCounts: req.MethodCounts,
-		Pool:         s.pool,
-		Obs:          e.obs,
+	var res *LocalResult
+	err = e.guarded(s, obs.SemLocal, func() error {
+		var kerr error
+		res, kerr = localDecompose(pg, req.Theta, Options{
+			Mode:         req.Mode,
+			Hyper:        req.Hyper,
+			MethodCounts: req.MethodCounts,
+			Pool:         s.pool,
+			Obs:          e.obs,
+		})
+		return kerr
 	})
+	if err != nil {
+		res = nil // a panic mid-kernel may have left a partial result behind
+	}
 	e.finish(obs.SemLocal, start, err)
 	return res, err
 }
@@ -329,7 +505,8 @@ func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalReques
 // Global answers one g-NuDecomp request on a free shard, sampling its
 // possible worlds into the shard's reusable mask bank. The result is
 // byte-identical to GlobalNuclei with the same parameters; a cancelled ctx
-// makes it return ctx.Err() instead.
+// makes it return ctx.Err() instead, and a panicking decomposition returns
+// ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -339,8 +516,15 @@ func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequ
 	if err != nil {
 		return nil, err
 	}
-	defer e.release(s)
-	out, err := globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+	var out []ProbNucleus
+	err = e.guarded(s, obs.SemGlobal, func() error {
+		var kerr error
+		out, kerr = globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+		return kerr
+	})
+	if err != nil {
+		out = nil
+	}
 	e.finish(obs.SemGlobal, start, err)
 	return out, err
 }
@@ -348,7 +532,8 @@ func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequ
 // Weak answers one w-NuDecomp request on a free shard, sampling its possible
 // worlds into the shard's reusable mask bank. The result is byte-identical
 // to WeaklyGlobalNuclei with the same parameters; a cancelled ctx makes it
-// return ctx.Err() instead.
+// return ctx.Err() instead, and a panicking decomposition returns
+// ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Weak(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -358,8 +543,15 @@ func (e *Engine) Weak(ctx context.Context, pg *probgraph.Graph, req NucleiReques
 	if err != nil {
 		return nil, err
 	}
-	defer e.release(s)
-	out, err := weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+	var out []ProbNucleus
+	err = e.guarded(s, obs.SemWeak, func() error {
+		var kerr error
+		out, kerr = weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+		return kerr
+	})
+	if err != nil {
+		out = nil
+	}
 	e.finish(obs.SemWeak, start, err)
 	return out, err
 }

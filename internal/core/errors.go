@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+
+	"probnucleus/internal/par"
 )
 
 // Sentinel validation errors shared by every decomposition entry point —
@@ -24,7 +27,47 @@ var (
 	// WithMaxQueue limit, so the request failed fast instead of parking
 	// unboundedly. Servers map it to 503 and clients retry with backoff.
 	ErrOverloaded = errors.New("engine overloaded")
+	// ErrInternal reports a request whose decomposition panicked. The Engine
+	// contains the panic — the process stays up and the shard that ran the
+	// request is quarantined and rebuilt rather than returned to the free
+	// list — and the caller gets this error instead of a possibly-corrupted
+	// result. Servers map it to 500; the concrete error is an *InternalError
+	// carrying the panic value and stack. Retrying the identical request is
+	// likely to panic again.
+	ErrInternal = errors.New("internal panic during decomposition")
+	// ErrDoomed reports a request shed by deadline-aware admission: every
+	// shard was busy and the request's remaining deadline was below the
+	// observed median service latency for its semantics, so it was rejected
+	// before wasting queue space and a shard on work it could not finish.
+	// Servers map it to 503; clients retry with a longer deadline or after
+	// backing off.
+	ErrDoomed = errors.New("request deadline below expected service time")
 )
+
+// InternalError is the concrete error behind ErrInternal: the recovered
+// panic value and the stack of the goroutine that panicked (a worker
+// goroutine's stack when the panic crossed a par.Pool round). Match with
+// errors.Is(err, ErrInternal); inspect with errors.As.
+type InternalError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: decomposition panicked: %v", e.Value)
+}
+
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// newInternalError wraps a recovered panic value. Panics that crossed a
+// worker-pool round arrive as *par.PanicError and keep the panicking
+// worker's stack; anything else gets the recovering goroutine's stack.
+func newInternalError(r any) *InternalError {
+	if pe, ok := r.(*par.PanicError); ok {
+		return &InternalError{Value: pe.Value, Stack: pe.Stack}
+	}
+	return &InternalError{Value: r, Stack: debug.Stack()}
+}
 
 func errTheta(theta float64) error {
 	return fmt.Errorf("core: theta = %v: %w", theta, ErrTheta)

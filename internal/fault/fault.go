@@ -1,0 +1,218 @@
+// Package fault is a deterministic fault-injection harness for the serving
+// engine. It mounts on the existing observability hook sites — the obs
+// event methods that every kernel fires on its request goroutine at chunk
+// boundaries (PeelRound, WorldBatch, Candidate, PoolRound) — so injecting a
+// fault requires zero changes to the kernels themselves, and a disabled
+// injector is literally free: Wrap returns the inner Observer unchanged.
+//
+// Faults are a pure function of (seed, step number): two runs with the same
+// seed and the same hook-firing order inject the identical sequence of
+// panics, delays, and cancellations, which is what makes chaos-test failures
+// replayable. The step counter is a single atomic, so the harness is safe
+// under the race detector and adds one atomic add per hook event when
+// enabled.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probnucleus/internal/obs"
+)
+
+// Config selects which faults an Injector may fire and how often. All
+// probabilities are per hook event in [0, 1]; the zero Config injects
+// nothing.
+type Config struct {
+	// Seed drives the deterministic per-step decision stream. Two injectors
+	// with equal Seed (and Config) fire identical fault sequences.
+	Seed int64
+	// Panic is the probability that a step panics with a Panic{N} value.
+	Panic float64
+	// Cancel is the probability that a step invokes every armed cancel
+	// function (see Arm), simulating a client abandoning its request
+	// mid-decomposition.
+	Cancel float64
+	// Delay is the probability that a step sleeps a deterministic duration
+	// in (0, MaxDelay], widening race windows between goroutines.
+	Delay float64
+	// MaxDelay bounds injected sleeps; ignored unless Delay > 0.
+	MaxDelay time.Duration
+	// Limit, when > 0, caps the total number of faults fired across the
+	// injector's lifetime — e.g. Limit: 1 with Panic: 1 fires exactly one
+	// panic and then goes quiet, for tests that need a single failure.
+	Limit uint64
+}
+
+// Panic is the value carried by injected panics, so tests can assert that an
+// observed ErrInternal was caused by the harness (and at which step) rather
+// than by a real bug.
+type Panic struct {
+	N uint64 // the 1-based step number that fired
+}
+
+// Injector fires deterministic faults from Step. The zero Injector and the
+// nil Injector are both disabled. Safe for concurrent use.
+type Injector struct {
+	cfg   Config
+	n     atomic.Uint64 // hook steps taken
+	fired atomic.Uint64 // faults fired, checked against cfg.Limit
+
+	mu      sync.Mutex
+	armed   map[uint64]func()
+	nextArm uint64
+}
+
+// New returns an Injector firing per cfg.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Enabled reports whether the injector can ever fire a fault.
+func (inj *Injector) Enabled() bool {
+	return inj != nil && (inj.cfg.Panic > 0 || inj.cfg.Cancel > 0 || inj.cfg.Delay > 0)
+}
+
+// Arm registers a cancel function to be invoked by cancel faults, and
+// returns its disarm function. Callers arm their request context's cancel
+// before issuing the request and disarm (typically via defer) when the
+// request returns; a cancel fault invokes every currently-armed function.
+func (inj *Injector) Arm(cancel func()) (disarm func()) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.armed == nil {
+		inj.armed = make(map[uint64]func())
+	}
+	id := inj.nextArm
+	inj.nextArm++
+	inj.armed[id] = cancel
+	return func() {
+		inj.mu.Lock()
+		defer inj.mu.Unlock()
+		delete(inj.armed, id)
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche of x, used
+// to turn (seed, step) into an independent uniform 64-bit draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform maps step n under the configured seed to a float64 in [0, 1).
+func (inj *Injector) uniform(n, salt uint64) float64 {
+	u := splitmix64(uint64(inj.cfg.Seed)*0x9e3779b97f4a7c15 + splitmix64(n) + salt)
+	return float64(u>>11) / (1 << 53)
+}
+
+// Step takes one fault decision. Call it from a hook site on the goroutine
+// whose failure is being simulated: the decision is a pure function of the
+// injector's seed and the number of prior steps, independent of timing. At
+// most one fault fires per step, tried in order panic → cancel → delay.
+func (inj *Injector) Step() {
+	if !inj.Enabled() {
+		return
+	}
+	n := inj.n.Add(1)
+	switch {
+	case inj.cfg.Panic > 0 && inj.uniform(n, 0x70616e6963) < inj.cfg.Panic:
+		if inj.take() {
+			panic(Panic{N: n})
+		}
+	case inj.cfg.Cancel > 0 && inj.uniform(n, 0x63616e63) < inj.cfg.Cancel:
+		if inj.take() {
+			inj.cancelArmed()
+		}
+	case inj.cfg.Delay > 0 && inj.uniform(n, 0x64656c6179) < inj.cfg.Delay:
+		if inj.take() {
+			d := time.Duration(inj.uniform(n, 0x736c656570) * float64(inj.cfg.MaxDelay))
+			time.Sleep(d)
+		}
+	}
+}
+
+// take claims one slot of cfg.Limit; always true when no limit is set.
+func (inj *Injector) take() bool {
+	if inj.cfg.Limit == 0 {
+		return true
+	}
+	return inj.fired.Add(1) <= inj.cfg.Limit
+}
+
+func (inj *Injector) cancelArmed() {
+	inj.mu.Lock()
+	cancels := make([]func(), 0, len(inj.armed))
+	for _, c := range inj.armed {
+		cancels = append(cancels, c)
+	}
+	inj.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Wrap mounts inj on inner's hook sites: the returned Observer forwards
+// every event to inner and calls inj.Step() on the kernel-side events that
+// fire on the request goroutine (PeelRound, WorldBatch, Candidate,
+// PoolRound). A disabled or nil injector returns inner unchanged, so the
+// production path pays nothing for the harness's existence.
+func Wrap(inner obs.Observer, inj *Injector) obs.Observer {
+	if !inj.Enabled() {
+		return inner
+	}
+	if inner == nil {
+		inner = obs.NopObserver{}
+	}
+	return &Observer{inner: inner, inj: inj}
+}
+
+// Observer is the injecting decorator built by Wrap.
+type Observer struct {
+	inner obs.Observer
+	inj   *Injector
+}
+
+func (o *Observer) RequestAdmitted(s obs.Semantics)                 { o.inner.RequestAdmitted(s) }
+func (o *Observer) RequestRejected(s obs.Semantics, r obs.Reject)   { o.inner.RequestRejected(s, r) }
+func (o *Observer) RequestStarted(s obs.Semantics, w time.Duration) { o.inner.RequestStarted(s, w) }
+func (o *Observer) RequestPanicked(s obs.Semantics)                 { o.inner.RequestPanicked(s) }
+func (o *Observer) ShardQuarantined()                               { o.inner.ShardQuarantined() }
+func (o *Observer) ShardRebuilt()                                   { o.inner.ShardRebuilt() }
+
+func (o *Observer) RequestFinished(s obs.Semantics, total time.Duration, failed bool) {
+	o.inner.RequestFinished(s, total, failed)
+}
+
+func (o *Observer) WorldBatch(worlds, words int) {
+	o.inj.Step()
+	o.inner.WorldBatch(worlds, words)
+}
+
+func (o *Observer) PeelRound(affected int) {
+	o.inj.Step()
+	o.inner.PeelRound(affected)
+}
+
+func (o *Observer) Candidate(tris int) {
+	o.inj.Step()
+	o.inner.Candidate(tris)
+}
+
+func (o *Observer) PoolRound(items int, d time.Duration) {
+	o.inj.Step()
+	o.inner.PoolRound(items, d)
+}
+
+// LatencyP50 forwards the engine's deadline-shedding latency source to the
+// wrapped Observer when it provides one (obs.Metrics does), so mounting the
+// harness does not silently disable deadline-aware admission.
+func (o *Observer) LatencyP50(s obs.Semantics) (time.Duration, int64) {
+	if src, ok := o.inner.(interface {
+		LatencyP50(obs.Semantics) (time.Duration, int64)
+	}); ok {
+		return src.LatencyP50(s)
+	}
+	return 0, 0
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"probnucleus/internal/obs"
+)
+
+// decisions replays n steps of an injector and records, per step, which
+// fault (if any) fired. Panics are recovered so a single run can observe
+// the whole stream.
+func decisions(cfg Config, n int) []string {
+	inj := New(cfg)
+	cancelled := false
+	disarm := inj.Arm(func() { cancelled = true })
+	defer disarm()
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		cancelled = false
+		out[i] = func() (kind string) {
+			defer func() {
+				if r := recover(); r != nil {
+					kind = "panic"
+				}
+			}()
+			inj.Step()
+			if cancelled {
+				return "cancel"
+			}
+			return "none"
+		}()
+	}
+	return out
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 42, Panic: 0.1, Cancel: 0.1, Delay: 0.05, MaxDelay: time.Microsecond}
+	a := decisions(cfg, 500)
+	b := decisions(cfg, 500)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: run A fired %q, run B fired %q", i, a[i], b[i])
+		}
+		if a[i] != "none" {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("500 steps at 25%% total fault rate fired nothing")
+	}
+	c := decisions(Config{Seed: 43, Panic: 0.1, Cancel: 0.1, Delay: 0.05, MaxDelay: time.Microsecond}, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestInjectedPanicValue(t *testing.T) {
+	inj := New(Config{Seed: 7, Panic: 1})
+	defer func() {
+		r := recover()
+		p, ok := r.(Panic)
+		if !ok {
+			t.Fatalf("recovered %#v, want fault.Panic", r)
+		}
+		if p.N != 1 {
+			t.Fatalf("Panic.N = %d, want 1", p.N)
+		}
+	}()
+	inj.Step()
+	t.Fatalf("Step with Panic: 1 did not panic")
+}
+
+func TestLimitCapsFaults(t *testing.T) {
+	inj := New(Config{Seed: 7, Panic: 1, Limit: 2})
+	panics := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			inj.Step()
+		}()
+	}
+	if panics != 2 {
+		t.Fatalf("fired %d panics with Limit: 2, want exactly 2", panics)
+	}
+}
+
+func TestDisarmStopsCancels(t *testing.T) {
+	inj := New(Config{Seed: 7, Cancel: 1})
+	cancels := 0
+	disarm := inj.Arm(func() { cancels++ })
+	inj.Step()
+	if cancels != 1 {
+		t.Fatalf("armed cancel fired %d times after one step, want 1", cancels)
+	}
+	disarm()
+	inj.Step()
+	if cancels != 1 {
+		t.Fatalf("disarmed cancel still fired (count %d)", cancels)
+	}
+}
+
+func TestWrapDisabledReturnsInner(t *testing.T) {
+	m := new(obs.Metrics)
+	if got := Wrap(m, nil); got != obs.Observer(m) {
+		t.Fatalf("Wrap(m, nil) = %T, want the inner observer unchanged", got)
+	}
+	if got := Wrap(m, New(Config{Seed: 1})); got != obs.Observer(m) {
+		t.Fatalf("Wrap(m, zero-rate injector) = %T, want the inner observer unchanged", got)
+	}
+	if got := Wrap(m, New(Config{Seed: 1, Delay: 0.5, MaxDelay: time.Microsecond})); got == obs.Observer(m) {
+		t.Fatalf("Wrap with an enabled injector returned the inner observer")
+	}
+}
+
+func TestWrapForwardsEventsAndLatency(t *testing.T) {
+	m := new(obs.Metrics)
+	// Delay-only injection with a zero-ish MaxDelay: Step fires but the
+	// effect is a negligible sleep, so the event stream is easy to verify.
+	o := Wrap(m, New(Config{Seed: 3, Delay: 1, MaxDelay: time.Nanosecond}))
+	o.RequestAdmitted(obs.SemLocal)
+	o.RequestStarted(obs.SemLocal, 0)
+	o.PeelRound(5)
+	o.WorldBatch(64, 2)
+	o.Candidate(3)
+	o.PoolRound(128, time.Microsecond)
+	o.RequestPanicked(obs.SemLocal)
+	o.ShardQuarantined()
+	o.ShardRebuilt()
+	o.RequestFinished(obs.SemLocal, 40*time.Millisecond, true)
+	o.RequestRejected(obs.SemGlobal, obs.RejectDoomed)
+	snap := m.Snapshot()
+	var local obs.RequestSnapshot
+	for _, rs := range snap.Requests {
+		if rs.Semantics == obs.SemLocal.String() {
+			local = rs
+		}
+	}
+	if local.Admitted != 1 || local.Finished != 1 || local.Failed != 1 {
+		t.Fatalf("request events not forwarded: %+v", local)
+	}
+	if local.Panicked != 1 || snap.ShardsQuarantined != 1 || snap.ShardsRebuilt != 1 {
+		t.Fatalf("fault events not forwarded: local %+v, shards %d/%d",
+			local, snap.ShardsQuarantined, snap.ShardsRebuilt)
+	}
+	if snap.PeelRounds != 1 || snap.WorldBatches != 1 || snap.Candidates != 1 || snap.PoolRounds != 1 {
+		t.Fatalf("kernel events not forwarded: %+v", snap)
+	}
+	src, ok := o.(interface {
+		LatencyP50(obs.Semantics) (time.Duration, int64)
+	})
+	if !ok {
+		t.Fatalf("wrapped observer does not forward LatencyP50")
+	}
+	p50, n := src.LatencyP50(obs.SemLocal)
+	wantP50, wantN := m.LatencyP50(obs.SemLocal)
+	if p50 != wantP50 || n != wantN {
+		t.Fatalf("LatencyP50 = (%v, %d) through wrapper, (%v, %d) direct", p50, n, wantP50, wantN)
+	}
+}

@@ -56,6 +56,10 @@ const (
 	// RejectExpired: the request's context was cancelled or its deadline
 	// passed while it waited for a shard.
 	RejectExpired
+	// RejectDoomed: deadline-aware admission shed the request before it
+	// queued — every shard was busy and its remaining deadline was below the
+	// observed median service latency for its semantics (ErrDoomed).
+	RejectDoomed
 
 	// NumRejects is the number of rejection reasons.
 	NumRejects
@@ -70,6 +74,8 @@ func (r Reject) String() string {
 		return "closed"
 	case RejectExpired:
 		return "expired"
+	case RejectDoomed:
+		return "doomed"
 	}
 	return "unknown"
 }
@@ -100,8 +106,18 @@ type Observer interface {
 	RequestStarted(s Semantics, queueWait time.Duration)
 	// RequestFinished: the decomposition returned after total wall-clock time
 	// (including the queue wait); failed reports a non-nil error, which for a
-	// started request means cancellation mid-run.
+	// started request means cancellation mid-run or a contained panic.
 	RequestFinished(s Semantics, total time.Duration, failed bool)
+	// RequestPanicked: the request's decomposition panicked; the engine
+	// contained it (the caller sees ErrInternal, never a crash) and will
+	// quarantine the shard that ran it. Fires between Started and Finished.
+	RequestPanicked(s Semantics)
+	// ShardQuarantined: a shard was pulled from service after a panic instead
+	// of returning to the free list; a rebuild is in flight.
+	ShardQuarantined()
+	// ShardRebuilt: a quarantined shard's fresh replacement is about to
+	// return to the free list, restoring serving capacity.
+	ShardRebuilt()
 	// WorldBatch: one shared Monte-Carlo world bank of `worlds` possible
 	// worlds × `words` mask words each was drawn.
 	WorldBatch(worlds, words int)
@@ -124,6 +140,9 @@ func (NopObserver) RequestAdmitted(Semantics)                      {}
 func (NopObserver) RequestRejected(Semantics, Reject)              {}
 func (NopObserver) RequestStarted(Semantics, time.Duration)        {}
 func (NopObserver) RequestFinished(Semantics, time.Duration, bool) {}
+func (NopObserver) RequestPanicked(Semantics)                      {}
+func (NopObserver) ShardQuarantined()                              {}
+func (NopObserver) ShardRebuilt()                                  {}
 func (NopObserver) WorldBatch(int, int)                            {}
 func (NopObserver) PeelRound(int)                                  {}
 func (NopObserver) Candidate(int)                                  {}
@@ -195,6 +214,32 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile returns the upper bucket bound of the q-quantile of the observed
+// durations (exact to within a factor of two) together with the number of
+// observations behind the estimate; (0, 0) when nothing has been observed.
+// It reads the live bucket counters — cheap enough for admission decisions —
+// so concurrent Observe calls may land between the reads.
+func (h *Histogram) Quantile(q float64) (time.Duration, int64) {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for b := range counts {
+		counts[b] = h.bkt[b].Load()
+		total += counts[b]
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	cum := int64(0)
+	for b := range counts {
+		cum += counts[b]
+		if cum >= rank {
+			return time.Duration(uint64(1) << uint(b)), total
+		}
+	}
+	return time.Duration(uint64(1) << uint(histBuckets-1)), total
+}
+
 // quantileMs returns the upper bound of the bucket containing the q-quantile.
 func quantileMs(counts *[histBuckets]int64, total int64, q float64) float64 {
 	if total == 0 {
@@ -222,6 +267,7 @@ type RequestStats struct {
 	Started   atomic.Int64
 	Finished  atomic.Int64
 	Failed    atomic.Int64
+	Panicked  atomic.Int64
 	Rejected  [NumRejects]atomic.Int64
 	QueueWait Histogram
 	Latency   Histogram
@@ -233,6 +279,9 @@ type RequestStats struct {
 // and read it back with Snapshot.
 type Metrics struct {
 	req [NumSemantics]RequestStats
+
+	shardsQuarantined atomic.Int64
+	shardsRebuilt     atomic.Int64
 
 	worldBatches atomic.Int64
 	worlds       atomic.Int64
@@ -281,6 +330,22 @@ func (m *Metrics) RequestFinished(s Semantics, total time.Duration, failed bool)
 	st.Latency.Observe(total)
 }
 
+func (m *Metrics) RequestPanicked(s Semantics) { m.sem(s).Panicked.Add(1) }
+
+func (m *Metrics) ShardQuarantined() { m.shardsQuarantined.Add(1) }
+
+func (m *Metrics) ShardRebuilt() { m.shardsRebuilt.Add(1) }
+
+// LatencyP50 returns the approximate median total service latency observed
+// for semantics s (the upper bound of the histogram bucket holding the
+// median, exact to within a factor of two) and the number of finished
+// requests behind the estimate. The engine's deadline-aware admission reads
+// it to shed queued requests whose remaining deadline cannot cover the
+// typical service time.
+func (m *Metrics) LatencyP50(s Semantics) (time.Duration, int64) {
+	return m.sem(s).Latency.Quantile(0.50)
+}
+
 func (m *Metrics) WorldBatch(worlds, words int) {
 	m.worldBatches.Add(1)
 	m.worlds.Add(int64(worlds))
@@ -310,6 +375,7 @@ type RequestSnapshot struct {
 	Started   int64             `json:"started"`
 	Finished  int64             `json:"finished"`
 	Failed    int64             `json:"failed"`
+	Panicked  int64             `json:"panicked"`
 	Rejected  map[string]int64  `json:"rejected,omitempty"`
 	QueueWait HistogramSnapshot `json:"queueWait"`
 	Latency   HistogramSnapshot `json:"latency"`
@@ -320,6 +386,9 @@ type RequestSnapshot struct {
 // (nudecomp -stats).
 type Snapshot struct {
 	Requests []RequestSnapshot `json:"requests"`
+
+	ShardsQuarantined int64 `json:"shardsQuarantined"`
+	ShardsRebuilt     int64 `json:"shardsRebuilt"`
 
 	WorldBatches int64 `json:"worldBatches"`
 	Worlds       int64 `json:"worlds"`
@@ -340,15 +409,17 @@ type Snapshot struct {
 // across fields.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		WorldBatches:  m.worldBatches.Load(),
-		Worlds:        m.worlds.Load(),
-		PeelRounds:    m.peelRounds.Load(),
-		Rescored:      m.rescored.Load(),
-		Candidates:    m.candidates.Load(),
-		CandidateTris: m.candidateTris.Load(),
-		PoolRounds:    m.poolRounds.Load(),
-		PoolItems:     m.poolItems.Load(),
-		PoolTimeMs:    float64(m.poolNanos.Load()) / 1e6,
+		ShardsQuarantined: m.shardsQuarantined.Load(),
+		ShardsRebuilt:     m.shardsRebuilt.Load(),
+		WorldBatches:      m.worldBatches.Load(),
+		Worlds:            m.worlds.Load(),
+		PeelRounds:        m.peelRounds.Load(),
+		Rescored:          m.rescored.Load(),
+		Candidates:        m.candidates.Load(),
+		CandidateTris:     m.candidateTris.Load(),
+		PoolRounds:        m.poolRounds.Load(),
+		PoolItems:         m.poolItems.Load(),
+		PoolTimeMs:        float64(m.poolNanos.Load()) / 1e6,
 	}
 	for sem := Semantics(0); sem < NumSemantics; sem++ {
 		st := &m.req[sem]
@@ -358,6 +429,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			Started:   st.Started.Load(),
 			Finished:  st.Finished.Load(),
 			Failed:    st.Failed.Load(),
+			Panicked:  st.Panicked.Load(),
 			QueueWait: st.QueueWait.Snapshot(),
 			Latency:   st.Latency.Snapshot(),
 		}

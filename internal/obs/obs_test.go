@@ -160,6 +160,9 @@ func TestObserveAllocationFree(t *testing.T) {
 		m.PeelRound(3)
 		m.Candidate(9)
 		m.PoolRound(64, time.Microsecond)
+		m.RequestPanicked(SemGlobal)
+		m.ShardQuarantined()
+		m.ShardRebuilt()
 		m.RequestFinished(SemGlobal, time.Millisecond, false)
 	})
 	if allocs != 0 {
@@ -173,6 +176,9 @@ func TestNopObserverImplements(t *testing.T) {
 	o.RequestRejected(SemLocal, RejectOverload)
 	o.RequestStarted(SemLocal, 0)
 	o.RequestFinished(SemLocal, 0, false)
+	o.RequestPanicked(SemLocal)
+	o.ShardQuarantined()
+	o.ShardRebuilt()
 	o.WorldBatch(0, 0)
 	o.PeelRound(0)
 	o.Candidate(0)
@@ -188,5 +194,59 @@ func TestStringNames(t *testing.T) {
 	}
 	if RejectOverload.String() != "overload" || RejectClosed.String() != "closed" || RejectExpired.String() != "expired" {
 		t.Error("reject names wrong")
+	}
+	if RejectDoomed.String() != "doomed" {
+		t.Error("doomed reject name wrong")
+	}
+}
+
+func TestFaultAccounting(t *testing.T) {
+	var m Metrics
+	m.RequestPanicked(SemGlobal)
+	m.RequestPanicked(SemGlobal)
+	m.ShardQuarantined()
+	m.ShardQuarantined()
+	m.ShardRebuilt()
+	m.RequestRejected(SemLocal, RejectDoomed)
+	s := m.Snapshot()
+	if got := s.Requests[SemGlobal].Panicked; got != 2 {
+		t.Errorf("global panicked = %d, want 2", got)
+	}
+	if s.ShardsQuarantined != 2 || s.ShardsRebuilt != 1 {
+		t.Errorf("shards quarantined/rebuilt = %d/%d, want 2/1", s.ShardsQuarantined, s.ShardsRebuilt)
+	}
+	if got := s.Requests[SemLocal].Rejected["doomed"]; got != 1 {
+		t.Errorf("local doomed rejections = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileProbe(t *testing.T) {
+	var h Histogram
+	if d, n := h.Quantile(0.5); d != 0 || n != 0 {
+		t.Fatalf("empty histogram Quantile = (%v, %d), want (0, 0)", d, n)
+	}
+	for i := 0; i < 32; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	p50, n := h.Quantile(0.5)
+	if n != 32 {
+		t.Errorf("Quantile count = %d, want 32", n)
+	}
+	// 50ms lands in bucket 26 ([2^25, 2^26) ns); the quantile reports the
+	// bucket's upper bound, ≈67.1ms.
+	if p50 < 50*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Errorf("p50 = %v, want the 50ms bucket's upper bound (≈67.1ms)", p50)
+	}
+	// A heavy slow tail must pull p99 — but not p50 — into the seconds range.
+	for i := 0; i < 8; i++ {
+		h.Observe(2 * time.Second)
+	}
+	p50, _ = h.Quantile(0.5)
+	p99, _ := h.Quantile(0.99)
+	if p50 > 70*time.Millisecond {
+		t.Errorf("p50 moved to %v after a 20%% slow tail", p50)
+	}
+	if p99 < time.Second {
+		t.Errorf("p99 = %v, want ≥ 1s (the 2s tail)", p99)
 	}
 }

@@ -12,10 +12,28 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError carries a panic recovered inside a pool round out to the round's
+// caller: the original panic value plus the stack of the goroutine that
+// panicked. Helper-goroutine panics would otherwise crash the whole process
+// (nothing above a goroutine's top frame can recover them), so every worker
+// recovers into a PanicError and the round re-panics it on the caller
+// goroutine once the round has quiesced — a single recover at the serving
+// boundary therefore sees worker and caller-side panics alike.
+type PanicError struct {
+	Value any    // the value originally passed to panic
+	Stack []byte // stack of the panicking goroutine (runtime/debug.Stack)
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: pool worker panicked: %v", e.Value)
+}
 
 // Workers resolves a requested worker count: values < 1 mean "use all
 // available parallelism" (runtime.GOMAXPROCS).
@@ -66,6 +84,13 @@ type Pool struct {
 	// tap, when non-nil, is invoked by the caller goroutine after every
 	// For/ForWorker round — the engine's chunk-timing observability hook.
 	tap Tap
+
+	// panicked holds the first panic recovered by any worker of the current
+	// round (nil otherwise). Workers stop claiming chunks once it is set, and
+	// the round re-panics it on the caller goroutine after the helpers have
+	// parked — so the pool stays structurally reusable after a panic, and
+	// Close never leaks a helper.
+	panicked atomic.Pointer[PanicError]
 
 	// Per-round state, published to helpers by the wake sends.
 	n     int
@@ -146,6 +171,14 @@ func (p *Pool) For(n int, fn func(i int)) {
 // [0, Workers()); the calling goroutine is worker 0. As with the package
 // function, index-to-worker assignment is dynamic, so only per-index writes
 // and commutative reductions preserve determinism.
+//
+// A panic in fn never crashes the process from a helper goroutine: the first
+// panicking worker's value and stack are captured, remaining workers stop
+// claiming chunks, and once the round has quiesced the panic is re-raised on
+// the calling goroutine as a *PanicError (the inline single-worker path lets
+// the panic propagate unwrapped — it is already on the caller). The pool
+// itself stays structurally sound: subsequent rounds and Close work normally,
+// though the panicked round's partial writes must be discarded.
 func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -188,13 +221,32 @@ func (p *Pool) forWorker(n int, fn func(worker, i int)) {
 		<-p.done
 	}
 	p.fn = nil
+	if pe := p.panicked.Swap(nil); pe != nil {
+		// Re-panic on the caller goroutine now that the round has fully
+		// quiesced (helpers parked, done drained): the pool remains
+		// structurally intact for reuse or Close, and the caller's recover
+		// sees the worker's original panic value and stack.
+		panic(pe)
+	}
 }
 
 func (p *Pool) loop(worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*PanicError)
+			if !ok {
+				pe = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			p.panicked.CompareAndSwap(nil, pe)
+		}
+	}()
 	ctx := p.ctx
 	for {
 		if ctx != nil && ctx.Err() != nil {
 			return
+		}
+		if p.panicked.Load() != nil {
+			return // another worker panicked; don't run more of a doomed round
 		}
 		lo := int(p.next.Add(int64(p.chunk))) - p.chunk
 		if lo >= p.n {

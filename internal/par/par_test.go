@@ -149,3 +149,84 @@ func TestPoolTap(t *testing.T) {
 		p.Close()
 	}
 }
+
+// TestPoolPanicPropagates: a panic in fn — on a helper goroutine or worker 0
+// — must not crash the process; it re-raises on the caller as a *PanicError
+// carrying the original value and the panicking goroutine's stack, and the
+// pool stays reusable afterwards.
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		p := NewPool(workers)
+		const n = 10000
+		for round := 0; round < 3; round++ {
+			func() {
+				defer func() {
+					r := recover()
+					pe, ok := r.(*PanicError)
+					if !ok {
+						t.Fatalf("workers=%d round %d: recovered %#v, want *PanicError", workers, round, r)
+					}
+					if pe.Value != "boom" {
+						t.Errorf("workers=%d: PanicError.Value = %v, want boom", workers, pe.Value)
+					}
+					if len(pe.Stack) == 0 {
+						t.Errorf("workers=%d: PanicError.Stack is empty", workers)
+					}
+				}()
+				p.ForWorker(n, func(worker, i int) {
+					if i == n/2 {
+						panic("boom")
+					}
+				})
+				t.Fatalf("workers=%d round %d: panicking round returned normally", workers, round)
+			}()
+			// The pool must still run clean rounds after the panic.
+			var sum atomic.Int64
+			p.ForWorker(n, func(_, i int) { sum.Add(int64(i)) })
+			if got := sum.Load(); got != int64(n)*(n-1)/2 {
+				t.Fatalf("workers=%d round %d after panic: sum = %d, want %d",
+					workers, round, got, int64(n)*(n-1)/2)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolAllWorkersPanic: every worker panicking in the same round still
+// yields exactly one *PanicError on the caller and a reusable pool.
+func TestPoolAllWorkersPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			if _, ok := recover().(*PanicError); !ok {
+				t.Fatalf("recovered non-PanicError from all-panic round")
+			}
+		}()
+		p.ForWorker(1<<16, func(worker, i int) { panic(worker) })
+		t.Fatalf("all-panic round returned normally")
+	}()
+	var count atomic.Int64
+	p.For(100, func(i int) { count.Add(1) })
+	if count.Load() != 100 {
+		t.Fatalf("post-panic round ran %d of 100 items", count.Load())
+	}
+}
+
+// TestPoolSingleWorkerPanicUnwrapped: the inline path has no helper
+// goroutines, so the panic propagates unwrapped (already on the caller).
+func TestPoolSingleWorkerPanicUnwrapped(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %#v, want the raw value \"inline\"", r)
+		}
+	}()
+	p.For(8, func(i int) {
+		if i == 3 {
+			panic("inline")
+		}
+	})
+	t.Fatalf("panicking inline round returned normally")
+}

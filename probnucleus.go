@@ -152,7 +152,10 @@ func HoeffdingSampleSize(eps, delta float64) int { return mc.SampleSize(eps, del
 // list. N goroutines may issue mixed Local/Global/Weak requests
 // simultaneously; every method takes a context.Context, and a cancelled
 // request returns ctx.Err() promptly while an uncancelled one is
-// byte-identical to the package-level functions.
+// byte-identical to the package-level functions. A panic inside a request is
+// contained (the caller sees ErrInternal, never a crash) and the shard that
+// ran it is quarantined and rebuilt, so corruption cannot leak across
+// requests; Engine.Health reports capacity and supervision counters.
 type Engine = core.Engine
 
 // LocalRequest parameterizes Engine.Local: one ℓ-NuDecomp query. Its
@@ -220,7 +223,24 @@ var (
 	// bound: every shard was busy and the wait queue was full. Map it to
 	// HTTP 503 and retry with backoff.
 	ErrOverloaded = core.ErrOverloaded
+	// ErrDoomed reports a request shed by deadline-aware admission: every
+	// shard was busy and the request's remaining deadline was below the
+	// observed median service latency for its semantics. Map it to HTTP 503;
+	// retry with a longer deadline or after backing off.
+	ErrDoomed = core.ErrDoomed
+	// ErrInternal reports a request whose decomposition panicked. The engine
+	// contained the panic — the process stays up, the shard that ran the
+	// request is quarantined and rebuilt — and the caller gets this error
+	// instead of a corrupted result. Map it to HTTP 500; retrying the same
+	// request will likely panic again.
+	ErrInternal = core.ErrInternal
 )
+
+// EngineHealth is a point-in-time view of an Engine's serving capacity —
+// shards/free/workers, queue depth against its bound, quarantine/rebuild
+// counters, and closed state — shaped for readiness endpoints. Read it with
+// Engine.Health.
+type EngineHealth = core.Health
 
 // Decomposer bundles LocalDecompose, GlobalNuclei, and WeaklyGlobalNuclei
 // around one persistent worker pool: repeated decompositions reuse the same

@@ -12,9 +12,11 @@
 #     commit on the current runner, with flickr added to the benchmark set).
 #   - BenchmarkEngineReuse rows carry no historical baseline: the comparison
 #     is internal (bank-reusing warm Engine shard vs the per-call path).
-#   - BenchmarkEngineContended rows carry no historical baseline either: the
-#     comparison is internal (observer=metrics vs observer=nil under
-#     contention; the observed row must stay within a few percent).
+#   - BenchmarkEngineContended rows: commit c274ddd (PR 6), before the
+#     fault-tolerance layer. These baselines are CURRENT, not historical:
+#     the noise gate below asserts that disabled fault injection keeps the
+#     contended serving path within noise of them — allocs/op within 1.25x
+#     always, ns/op within 2x on multi-iteration runs.
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -59,6 +61,8 @@ BenchmarkGlobal/flickr 62448413945 9144787122 18425210
 BenchmarkWeak/krogan 89792720 1991986 4331
 BenchmarkWeak/dblp 456305191 8591304 6433
 BenchmarkWeak/flickr 9014772177 67287888 1585
+BenchmarkEngineContended/observer=nil 170169506 3329296 12003
+BenchmarkEngineContended/observer=metrics 170780706 3328624 12000
 BASE
 
 echo "==> go test -bench $pattern -benchmem -benchtime $benchtime"
@@ -119,3 +123,45 @@ END {
 ' "$txt" > "$out"
 
 echo "wrote $out"
+
+# Fault-injection noise gate: the fault harness mounts on the observer hook
+# sites and must be literally free when disabled (fault.Wrap returns the
+# inner observer unchanged), so BenchmarkEngineContended has to stay within
+# noise of the PR 6 baseline recorded above. Allocations are deterministic —
+# a tight 1.25x gate holds even at -benchtime 1x; wall-clock only carries a
+# claim on multi-iteration runs.
+awk -v baselinefile="$base" -v benchtime="$benchtime" '
+BEGIN {
+    while ((getline line < baselinefile) > 0) {
+        split(line, f, " ")
+        bns[f[1]] = f[2]; ba[f[1]] = f[4]
+    }
+}
+/^BenchmarkEngineContended/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (!(name in ba) || allocs == "") next
+    checked++
+    if (allocs + 0 > ba[name] * 1.25) {
+        printf "FAIL %s: %s allocs/op exceeds 1.25x baseline %s\n", name, allocs, ba[name]
+        bad = 1
+    }
+    if (benchtime != "1x" && ns + 0 > bns[name] * 2.0) {
+        printf "FAIL %s: %s ns/op exceeds 2x baseline %s\n", name, ns, bns[name]
+        bad = 1
+    }
+}
+END {
+    if (checked == 0)
+        print "note: no BenchmarkEngineContended rows in this run; noise gate skipped"
+    else if (bad)
+        exit 1
+    else
+        printf "fault-injection noise gate OK (%d contended rows within baseline)\n", checked
+}
+' "$txt"

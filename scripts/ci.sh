@@ -7,8 +7,10 @@
 # tests in internal/core, internal/graph, and internal/mc run the worker
 # pools at 1/2/8 workers, so `go test -race` drives every concurrent path,
 # including the shared-world validation loop and its parallel min-tail
-# reduction; a dedicated -race pass then re-runs the serving Engine's
-# concurrent stress and cancellation tests for extra scheduling variation.
+# reduction; dedicated -race passes then re-run the serving Engine's
+# concurrent stress and cancellation tests for extra scheduling variation,
+# and the fault-tolerance chaos suite (deterministic injected
+# panics/delays/cancels, shard quarantine/rebuild, goroutine-leak gate).
 #
 # The test suite includes the shared-world steady-state allocation gates
 # (internal/core/arena_test.go: validating one more candidate — index
@@ -54,6 +56,17 @@ go test -race "$pkgs"
 echo "==> go test -race engine stress (concurrent serving + overload/shutdown)"
 go test -race -count=2 -run 'TestEngineConcurrentStress|TestEngineCancellation|TestEngineDeadline|TestEngineOverload|TestEngineCloseIdempotent|TestEngineConcurrentCloseStress' ./internal/core
 go test -race -count=2 ./examples/engine-server
+
+# The fault-tolerance layer's chaos suite gets its own -race pass: randomized
+# injected panics/delays/forced-cancels across all three semantics must never
+# crash the process, leak or double-release a shard, or surface an untyped
+# error; quarantined shards must rebuild back to full capacity; and Close —
+# plain, racing a rebuild, or mid-chaos — must leave no engine or pool
+# goroutine behind. The par-level panic containment and the injector's
+# determinism run alongside.
+echo "==> go test -race chaos suite (fault injection, quarantine/rebuild, leak gate)"
+go test -race -count=2 -run 'TestEngineChaos|TestEngineQuarantineRebuild|TestEngineDoomedAdmission|TestEngineCloseLeaksNoGoroutines|TestPoolPanicPropagates|TestPoolAllWorkersPanic|TestPoolSingleWorkerPanicUnwrapped' ./internal/core ./internal/par
+go test -race -count=2 ./internal/fault
 
 echo "==> goldendump -check (global/weak snapshot)"
 go run ./cmd/goldendump -check
