@@ -167,41 +167,73 @@ func BenchmarkWeak(b *testing.B) {
 	})
 }
 
-// BenchmarkEngineReuse measures what a long-lived Engine buys a server over
-// the per-call path: the engine sub-benchmark reissues the same global
-// request against one warm shard — parked worker team, reused world-mask
-// bank backing at a fixed (ε,δ) — while per-call pays a fresh pool and bank
-// every iteration. ReportAllocs is the regression gate; scripts/bench.sh
-// records both rows in BENCH_local.json.
+// BenchmarkEngineReuse measures what warm reuse buys a server over the cold
+// per-request path, for both the local and global request shapes. The cold
+// rows are the raw engine path: every iteration re-enumerates the triangle
+// index and peels (and, for global, samples worlds). The warm rows go
+// through a Registry whose graph was registered — prepared artifact built —
+// and whose local result was computed before the timer: a warm local query
+// is a pure cache hit (no enumeration, no peel), and a warm global query
+// pays only Monte-Carlo validation on the shared artifact. ReportAllocs is
+// the regression gate; scripts/bench.sh records all four rows in
+// BENCH_local.json.
 func BenchmarkEngineReuse(b *testing.B) {
 	g := benchGraph("krogan", 0.04)
-	local, err := pn.LocalDecompose(g, 0.001, pn.Options{Mode: pn.ModeDP})
-	if err != nil {
-		b.Fatal(err)
+	localReq := pn.LocalRequest{Theta: 0.001}
+	globReq := pn.NucleiRequest{K: 1, Theta: 0.001, Samples: 100, Seed: 1}
+	ctx := context.Background()
+
+	cold := func(run func(eng *pn.Engine) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := pn.NewEngine(1, 1)
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
 	}
-	b.Run("engine", func(b *testing.B) {
-		eng := pn.NewEngine(1, 1)
-		defer eng.Close()
-		ctx := context.Background()
-		req := pn.NucleiRequest{K: 1, Theta: 0.001, Samples: 100, Seed: 1, Local: local}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := eng.Global(ctx, g, req); err != nil {
+	warm := func(run func(reg *pn.Registry) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := pn.NewEngine(1, 1)
+			defer eng.Close()
+			reg := pn.NewRegistry(eng)
+			if _, err := reg.Put(ctx, "krogan", g); err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("per-call", func(b *testing.B) {
-		opts := pn.MCOptions{Samples: 100, Seed: 1, Local: local, Workers: 1}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := pn.GlobalNuclei(g, 1, 0.001, opts); err != nil {
+			// Pre-warm: the first query computes and caches the local result.
+			if err := run(reg); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(reg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
-	})
+	}
+
+	b.Run("local-cold", cold(func(eng *pn.Engine) error {
+		_, err := eng.Local(ctx, g, localReq)
+		return err
+	}))
+	b.Run("local-warm", warm(func(reg *pn.Registry) error {
+		_, err := reg.Local(ctx, "krogan", localReq)
+		return err
+	}))
+	b.Run("global-cold", cold(func(eng *pn.Engine) error {
+		_, err := eng.Global(ctx, g, globReq)
+		return err
+	}))
+	b.Run("global-warm", warm(func(reg *pn.Registry) error {
+		_, err := reg.Global(ctx, "krogan", globReq)
+		return err
+	}))
 }
 
 // BenchmarkEngineContended measures the observer's hot-path cost where it

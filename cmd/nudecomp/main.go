@@ -9,6 +9,14 @@
 //	nudecomp -dataset krogan -theta 0.001 -mode weak -k 2
 //	nudecomp -dataset dblp -theta 0.3 -workers 8          # bounded worker pool
 //
+// -theta accepts a comma-separated sweep. The graph is prepared once — CSR
+// adjacency plus triangle index — and every θ in the sweep executes against
+// that one artifact, so an n-point sweep pays for enumeration once instead of
+// n times:
+//
+//	nudecomp -dataset krogan -theta 0.1,0.3,0.5
+//	nudecomp -dataset krogan -theta 0.001,0.01 -mode weak -k 1
+//
 // -workers bounds the parallel execution engine (0 = all cores, 1 = serial);
 // every mode produces identical output for every worker count. All modes run
 // through a one-shard probnucleus.Engine, and -timeout bounds the
@@ -37,6 +45,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 
 	pn "probnucleus"
 )
@@ -46,7 +56,7 @@ func main() {
 		input   = flag.String("input", "", "probabilistic edge-list file (u v p per line)")
 		name    = flag.String("dataset", "", "named simulated dataset instead of -input")
 		scale   = flag.Float64("scale", 1, "dataset scale for -dataset")
-		theta   = flag.Float64("theta", 0.3, "probability threshold θ")
+		theta   = flag.String("theta", "0.3", "probability threshold θ, or a comma-separated sweep θ1,θ2,…")
 		mode    = flag.String("mode", "dp", "dp | ap | global | weak")
 		k       = flag.Int("k", 1, "nucleus level for global/weak modes")
 		samples = flag.Int("samples", 200, "Monte-Carlo samples for global/weak modes")
@@ -60,8 +70,12 @@ func main() {
 	)
 	flag.Parse()
 
+	thetas, err := parseThetas(*theta)
+	if err != nil {
+		fatal(err)
+	}
+
 	var pg *pn.Graph
-	var err error
 	switch {
 	case *input != "":
 		pg, err = pn.ReadEdgeListFile(*input)
@@ -109,35 +123,49 @@ func main() {
 
 	// Decomposition errors are collected rather than fatal()'d so the CPU
 	// profile is flushed even on failure — the very run where it is wanted.
+	// The graph is prepared once, before the sweep: every θ executes against
+	// the same triangle index instead of re-enumerating per query.
 	var runErr error
-	switch *mode {
-	case "dp", "ap":
-		m := pn.ModeDP
-		if *mode == "ap" {
-			m = pn.ModeAP
-		}
-		res, err := eng.Local(ctx, pg, pn.LocalRequest{Theta: *theta, Mode: m})
-		if err != nil {
-			runErr = err
+	pre, err := eng.Prepare(ctx, pg)
+	if err != nil {
+		runErr = err
+	}
+	for _, th := range thetas {
+		if runErr != nil {
 			break
 		}
-		printLocal(res, *top)
-	case "global":
-		nuclei, err := eng.Global(ctx, pg, pn.NucleiRequest{K: *k, Theta: *theta, Samples: *samples, Seed: *seed})
-		if err != nil {
-			runErr = err
-			break
+		if len(thetas) > 1 {
+			fmt.Printf("— θ=%.4g —\n", th)
 		}
-		printProbNuclei("g", nuclei, *k, *theta, *top)
-	case "weak":
-		nuclei, err := eng.Weak(ctx, pg, pn.NucleiRequest{K: *k, Theta: *theta, Samples: *samples, Seed: *seed})
-		if err != nil {
-			runErr = err
-			break
+		switch *mode {
+		case "dp", "ap":
+			m := pn.ModeDP
+			if *mode == "ap" {
+				m = pn.ModeAP
+			}
+			res, err := eng.LocalPrepared(ctx, pre, pn.LocalRequest{Theta: th, Mode: m})
+			if err != nil {
+				runErr = err
+				break
+			}
+			printLocal(res, *top)
+		case "global":
+			nuclei, err := eng.GlobalPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed})
+			if err != nil {
+				runErr = err
+				break
+			}
+			printProbNuclei("g", nuclei, *k, th, *top)
+		case "weak":
+			nuclei, err := eng.WeakPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed})
+			if err != nil {
+				runErr = err
+				break
+			}
+			printProbNuclei("w", nuclei, *k, th, *top)
+		default:
+			runErr = fmt.Errorf("unknown mode %q", *mode)
 		}
-		printProbNuclei("w", nuclei, *k, *theta, *top)
-	default:
-		runErr = fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	if *cpuprof != "" {
@@ -223,6 +251,21 @@ func printProbNuclei(tag string, nuclei []pn.ProbNucleus, k int, theta float64, 
 		fmt.Printf("  #%d: %d vertices, %d edges, %d triangles, min Pr̂ %.3f\n",
 			i+1, len(nuc.Vertices), len(nuc.Edges), len(nuc.Triangles), nuc.MinProb)
 	}
+}
+
+// parseThetas splits the -theta value on commas. Range validation stays with
+// the engine (ErrTheta) so the CLI and the server reject identically.
+func parseThetas(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	thetas := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-theta %q: %q is not a number", s, p)
+		}
+		thetas = append(thetas, v)
+	}
+	return thetas, nil
 }
 
 func fatal(err error) {

@@ -7,9 +7,19 @@
 // requests return 503 with a Retry-After computed from the live queue-wait
 // and latency medians, and a panicking decomposition returns 500 while the
 // engine quarantines and rebuilds the shard that ran it — the process stays
-// up. /metrics exposes the engine's request ledger and latency histograms as
-// JSON, /healthz its capacity and shard-supervision counters, and
-// SIGINT/SIGTERM drain in-flight requests before the engine is closed.
+// up. /metrics exposes the engine's request ledger, latency histograms, and
+// registry cache counters as JSON, /healthz its capacity and
+// shard-supervision counters, and SIGINT/SIGTERM drain in-flight requests
+// before the engine is closed.
+//
+// The server is multi-graph: a Registry holds named graphs as prepared
+// artifacts (triangle index enumerated once, at registration) with a keyed
+// LRU of local results, so repeated queries against a registered graph skip
+// enumeration entirely and hot (θ, mode) pairs skip peeling too. /graphs
+// lists and creates graphs (409 on a duplicate name), /graphs/{name} reads
+// or deletes one (404 when unknown), and /graphs/{name}/local and
+// /graphs/{name}/nuclei are the per-graph query routes. The startup dataset
+// is registered under its own name.
 //
 // Run it and issue concurrent queries:
 //
@@ -17,6 +27,11 @@
 //	curl 'localhost:8080/local?theta=0.3&mode=ap'
 //	curl 'localhost:8080/nuclei?semantics=global&k=1&theta=0.001&samples=100' &
 //	curl 'localhost:8080/nuclei?semantics=weak&k=1&theta=0.001&samples=100' &
+//	curl 'localhost:8080/graphs'
+//	curl -X POST 'localhost:8080/graphs?name=dblp&dataset=dblp&scale=0.02'
+//	curl 'localhost:8080/graphs/dblp/local?theta=0.3'          # computes, caches
+//	curl 'localhost:8080/graphs/dblp/local?theta=0.3'          # cache hit
+//	curl -X DELETE 'localhost:8080/graphs/dblp'
 //	curl 'localhost:8080/metrics'
 //	curl 'localhost:8080/healthz'
 package main
@@ -32,7 +47,9 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"regexp"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +61,7 @@ import (
 type server struct {
 	pg      *pn.Graph
 	eng     *pn.Engine
+	reg     *pn.Registry
 	metrics *pn.EngineMetrics
 	timeout time.Duration
 }
@@ -57,15 +75,21 @@ func main() {
 		workers  = flag.Int("workers", 0, "workers per shard (0 = all cores)")
 		maxQueue = flag.Int("maxqueue", 64, "max requests waiting for a shard before 503 (-1 = unbounded)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		cache    = flag.Int("cache", pn.DefaultCacheCapacity, "registry result-cache capacity (0 disables caching)")
 	)
 	flag.Parse()
 
 	metrics := new(pn.EngineMetrics)
+	eng := pn.NewEngine(*shards, *workers, pn.WithMaxQueue(*maxQueue), pn.WithObserver(metrics))
 	srv := &server{
 		pg:      pn.MustDataset(*name, *scale),
-		eng:     pn.NewEngine(*shards, *workers, pn.WithMaxQueue(*maxQueue), pn.WithObserver(metrics)),
+		eng:     eng,
+		reg:     pn.NewRegistry(eng, pn.WithCacheCapacity(*cache), pn.WithRegistryObserver(metrics)),
 		metrics: metrics,
 		timeout: *timeout,
+	}
+	if _, err := srv.reg.Put(context.Background(), *name, srv.pg); err != nil {
+		log.Fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,14 +125,196 @@ func run(ctx context.Context, hs *http.Server, ln net.Listener, eng *pn.Engine) 
 	return hs.Shutdown(drain)
 }
 
-// handler builds the route table over the server's engine.
+// handler builds the route table over the server's engine and registry. The
+// /graphs subtree is dispatched by hand (the module's go directive predates
+// ServeMux patterns): /graphs lists and creates, /graphs/{name} reads and
+// deletes, /graphs/{name}/local and /graphs/{name}/nuclei query.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/local", s.handleLocal)
 	mux.HandleFunc("/nuclei", s.handleNuclei)
+	mux.HandleFunc("/graphs", s.handleGraphs)
+	mux.HandleFunc("/graphs/", s.handleGraphPath)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// graphName pins the accepted graph names: 1–64 characters of letters,
+// digits, dot, underscore, dash. Anything else is a 400, so names are always
+// safe to echo into URLs, logs, and JSON.
+var graphName = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// handleGraphs serves the collection routes: GET lists the registered
+// graphs, POST registers a new one — from a named simulated dataset
+// (?dataset=krogan&scale=0.04) or from a `u v p` edge list in the request
+// body — answering 409 when the name is taken.
+func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, map[string]any{"graphs": s.reg.List()})
+	case http.MethodPost:
+		s.handleCreateGraph(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !graphName.MatchString(name) {
+		http.Error(w, fmt.Sprintf("name %q must match %s", name, graphName), http.StatusBadRequest)
+		return
+	}
+	var pg *pn.Graph
+	if ds := r.URL.Query().Get("dataset"); ds != "" {
+		q := query{r: r}
+		scale := q.float("scale", 0.04)
+		if q.err != nil {
+			http.Error(w, q.err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg, err := pn.LoadDataset(ds, scale)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pg = pn.GenerateDataset(cfg)
+	} else {
+		var err error
+		if pg, err = pn.ReadEdgeList(r.Body); err != nil {
+			http.Error(w, fmt.Sprintf("edge-list body: %v (or pass ?dataset=)", err), http.StatusBadRequest)
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	h, err := s.reg.Add(ctx, name, pg)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, h)
+}
+
+// handleGraphPath dispatches the per-graph routes under /graphs/{name}.
+func (s *server) handleGraphPath(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	name, sub, _ := strings.Cut(rest, "/")
+	if !graphName.MatchString(name) {
+		http.Error(w, fmt.Sprintf("name %q must match %s", name, graphName), http.StatusBadRequest)
+		return
+	}
+	switch sub {
+	case "":
+		s.handleGraph(w, r, name)
+	case "local":
+		s.requireGet(w, r, func() { s.handleGraphLocal(w, r, name) })
+	case "nuclei":
+		s.requireGet(w, r, func() { s.handleGraphNuclei(w, r, name) })
+	default:
+		http.Error(w, fmt.Sprintf("unknown graph route %q", sub), http.StatusNotFound)
+	}
+}
+
+func (s *server) requireGet(w http.ResponseWriter, r *http.Request, serve func()) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	serve()
+}
+
+// handleGraph serves one registered graph: GET reads its handle, DELETE
+// unregisters it. Unknown names are 404 on both.
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodGet:
+		h, err := s.reg.Get(name)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, h)
+	case http.MethodDelete:
+		if err := s.reg.Delete(name); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleGraphLocal is /graphs/{name}/local: the registry-backed counterpart
+// of /local — repeated queries at the same (θ, mode) are cache hits that run
+// no decomposition at all.
+func (s *server) handleGraphLocal(w http.ResponseWriter, r *http.Request, name string) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	req, err := parseLocalQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.reg.Local(ctx, name, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	maxK := res.MaxNucleusness()
+	writeJSON(w, map[string]any{
+		"graph":          name,
+		"theta":          res.Theta,
+		"triangles":      len(res.Nucleusness),
+		"maxNucleusness": maxK,
+		"nucleiAtMax":    len(res.NucleiForK(maxK)),
+	})
+}
+
+// handleGraphNuclei is /graphs/{name}/nuclei: the registry-backed
+// counterpart of /nuclei — the pruning local decomposition comes from the
+// result cache and the Monte-Carlo validation runs on the graph's prepared
+// artifact, never re-enumerating triangles.
+func (s *server) handleGraphNuclei(w http.ResponseWriter, r *http.Request, name string) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	req, sem, err := parseNucleiQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var nuclei []pn.ProbNucleus
+	if sem == "weak" {
+		nuclei, err = s.reg.Weak(ctx, name, req)
+	} else {
+		nuclei, err = s.reg.Global(ctx, name, req)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"graph": name, "k": req.K, "theta": req.Theta, "nuclei": nucleusSummaries(nuclei),
+	})
+}
+
+func nucleusSummaries(nuclei []pn.ProbNucleus) []map[string]any {
+	summaries := make([]map[string]any, len(nuclei))
+	for i, n := range nuclei {
+		summaries[i] = map[string]any{
+			"vertices":  len(n.Vertices),
+			"edges":     len(n.Edges),
+			"triangles": len(n.Triangles),
+			"minProb":   n.MinProb,
+		}
+	}
+	return summaries
 }
 
 // parseLocalQuery builds the /local request from URL parameters; any
@@ -191,23 +397,19 @@ func (s *server) handleNuclei(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	summaries := make([]map[string]any, len(nuclei))
-	for i, n := range nuclei {
-		summaries[i] = map[string]any{
-			"vertices":  len(n.Vertices),
-			"edges":     len(n.Edges),
-			"triangles": len(n.Triangles),
-			"minProb":   n.MinProb,
-		}
-	}
-	writeJSON(w, map[string]any{"k": req.K, "theta": req.Theta, "nuclei": summaries})
+	writeJSON(w, map[string]any{"k": req.K, "theta": req.Theta, "nuclei": nucleusSummaries(nuclei)})
 }
 
-// handleMetrics serves a point-in-time snapshot of the engine's observer:
-// per-semantics request ledgers with queue-wait and latency histograms, plus
-// kernel progress counters.
+// handleMetrics serves a point-in-time snapshot of the engine's observer —
+// per-semantics request ledgers with queue-wait and latency histograms plus
+// kernel progress and cache counters — with the registry's graph/cache
+// summary under "registry". The engine snapshot stays at the top level
+// (embedded, not nested) so existing scrapers keep decoding it unchanged.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.metrics.Snapshot())
+	writeJSON(w, struct {
+		pn.EngineSnapshot
+		Registry pn.RegistryStats `json:"registry"`
+	}{s.metrics.Snapshot(), s.reg.Stats()})
 }
 
 // handleHealthz serves the engine's readiness: shard capacity, queue depth
@@ -263,6 +465,10 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pn.ErrTheta), errors.Is(err, pn.ErrNegativeK), errors.Is(err, pn.ErrBadSampleSpec):
 		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, pn.ErrUnknownGraph):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, pn.ErrDuplicateGraph):
+		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, pn.ErrOverloaded), errors.Is(err, pn.ErrEngineClosed), errors.Is(err, pn.ErrDoomed):

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -33,11 +34,16 @@ func newTestServer(t *testing.T, shards, maxQueue int) *server {
 		t.Fatal(err)
 	}
 	m := new(pn.EngineMetrics)
+	eng := pn.NewEngine(shards, 1, pn.WithMaxQueue(maxQueue), pn.WithObserver(m))
 	s := &server{
 		pg:      pg,
-		eng:     pn.NewEngine(shards, 1, pn.WithMaxQueue(maxQueue), pn.WithObserver(m)),
+		eng:     eng,
+		reg:     pn.NewRegistry(eng, pn.WithRegistryObserver(m)),
 		metrics: m,
 		timeout: 10 * time.Second,
+	}
+	if _, err := s.reg.Put(context.Background(), "k5", pg); err != nil {
+		t.Fatal(err)
 	}
 	t.Cleanup(s.eng.Close)
 	return s
@@ -45,8 +51,17 @@ func newTestServer(t *testing.T, shards, maxQueue int) *server {
 
 func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
 	t.Helper()
+	return do(t, h, "GET", target, "")
+}
+
+func do(t *testing.T, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+	h.ServeHTTP(w, httptest.NewRequest(method, target, rd))
 	return w
 }
 
@@ -220,6 +235,148 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no local entry in metrics snapshot: %s", w.Body.String())
+	}
+}
+
+// TestGraphRoutes: the /graphs CRUD round trip. The startup graph is listed,
+// a posted edge list becomes a queryable graph with a handle reporting its
+// prepared footprint, and a deleted graph answers 404 afterwards.
+func TestGraphRoutes(t *testing.T) {
+	h := newTestServer(t, 1, -1).handler()
+
+	// The startup graph is registered and listed.
+	w := get(t, h, "/graphs")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /graphs = %d, body %q", w.Code, w.Body.String())
+	}
+	var list struct {
+		Graphs []pn.GraphHandle `json:"graphs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 1 || list.Graphs[0].Name != "k5" {
+		t.Fatalf("startup listing = %+v, want exactly [k5]", list.Graphs)
+	}
+
+	// POST an edge-list body: one triangle.
+	w = do(t, h, "POST", "/graphs?name=tri", "0 1 0.9\n1 2 0.8\n0 2 0.7\n")
+	if w.Code != http.StatusCreated {
+		t.Fatalf("POST /graphs?name=tri = %d, body %q", w.Code, w.Body.String())
+	}
+	var handle pn.GraphHandle
+	if err := json.Unmarshal(w.Body.Bytes(), &handle); err != nil {
+		t.Fatal(err)
+	}
+	if handle.Name != "tri" || handle.Edges != 3 || handle.Triangles != 1 || handle.Version != 1 {
+		t.Fatalf("created handle = %+v, want tri with 3 edges, 1 triangle, version 1", handle)
+	}
+
+	// The new graph reads back and serves queries.
+	if w := get(t, h, "/graphs/tri"); w.Code != http.StatusOK {
+		t.Fatalf("GET /graphs/tri = %d, body %q", w.Code, w.Body.String())
+	}
+	if w := get(t, h, "/graphs/tri/local?theta=0.3"); w.Code != http.StatusOK {
+		t.Fatalf("GET /graphs/tri/local = %d, body %q", w.Code, w.Body.String())
+	}
+	if w := get(t, h, "/graphs/k5/nuclei?k=1&theta=0.3&samples=50&seed=7"); w.Code != http.StatusOK {
+		t.Fatalf("GET /graphs/k5/nuclei = %d, body %q", w.Code, w.Body.String())
+	}
+	if w := get(t, h, "/graphs/k5/nuclei?semantics=weak&k=1&theta=0.3&samples=50"); w.Code != http.StatusOK {
+		t.Fatalf("GET /graphs/k5/nuclei weak = %d, body %q", w.Code, w.Body.String())
+	}
+
+	// DELETE unregisters; the graph and its query routes turn 404.
+	if w := do(t, h, "DELETE", "/graphs/tri", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("DELETE /graphs/tri = %d, body %q", w.Code, w.Body.String())
+	}
+	for _, target := range []string{"/graphs/tri", "/graphs/tri/local?theta=0.3"} {
+		if w := get(t, h, target); w.Code != http.StatusNotFound {
+			t.Fatalf("after delete, GET %s = %d, want 404 (body %q)", target, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestGraphRouteErrors: the strict-parsing sweep for the /graphs subtree.
+// Unknown graphs are 404, duplicate names 409, malformed names and
+// parameters 400, and wrong methods 405 — never a silent fallback.
+func TestGraphRouteErrors(t *testing.T) {
+	h := newTestServer(t, 1, -1).handler()
+	cases := []struct {
+		name, method, target, body string
+		wantCode                   int
+		wantInBody                 string
+	}{
+		{"unknown graph read", "GET", "/graphs/nope", "", 404, "unknown graph"},
+		{"unknown graph delete", "DELETE", "/graphs/nope", "", 404, "unknown graph"},
+		{"unknown graph local", "GET", "/graphs/nope/local?theta=0.3", "", 404, "unknown graph"},
+		{"unknown graph nuclei", "GET", "/graphs/nope/nuclei?samples=10", "", 404, "unknown graph"},
+		{"duplicate name", "POST", "/graphs?name=k5", "0 1 0.9\n", 409, "already registered"},
+		{"empty name", "POST", "/graphs", "0 1 0.9\n", 400, "must match"},
+		{"bad name char", "POST", "/graphs?name=no!good", "0 1 0.9\n", 400, "must match"},
+		{"overlong name", "GET", "/graphs/" + strings.Repeat("x", 65), "", 400, "must match"},
+		{"bad path name", "GET", "/graphs/no!good/local?theta=0.3", "", 400, "must match"},
+		{"malformed theta", "GET", "/graphs/k5/local?theta=high", "", 400, "not a number"},
+		{"theta out of range", "GET", "/graphs/k5/local?theta=1.5", "", 400, "theta"},
+		{"malformed k", "GET", "/graphs/k5/nuclei?k=1.5&samples=10", "", 400, "not an integer"},
+		{"negative k", "GET", "/graphs/k5/nuclei?k=-1&samples=10", "", 400, "negative"},
+		{"bad mode", "GET", "/graphs/k5/local?mode=turbo", "", 400, "mode must be dp or ap"},
+		{"bad dataset", "POST", "/graphs?name=fresh&dataset=nosuch", "", 400, "dataset"},
+		{"bad edge list", "POST", "/graphs?name=fresh", "zero one 0.9\n", 400, "edge-list body"},
+		{"unknown subroute", "GET", "/graphs/k5/explode", "", 404, "unknown graph route"},
+		{"collection put", "PUT", "/graphs", "", 405, "method not allowed"},
+		{"query post", "POST", "/graphs/k5/local?theta=0.3", "", 405, "method not allowed"},
+		{"graph post", "POST", "/graphs/k5", "", 405, "method not allowed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(t, h, c.method, c.target, c.body)
+			if w.Code != c.wantCode {
+				t.Fatalf("%s %s = %d, want %d (body %q)", c.method, c.target, w.Code, c.wantCode, w.Body.String())
+			}
+			if !strings.Contains(w.Body.String(), c.wantInBody) {
+				t.Errorf("%s %s body %q does not mention %q", c.method, c.target, w.Body.String(), c.wantInBody)
+			}
+		})
+	}
+}
+
+// TestRegistryCacheOnServer: repeated queries against a registered graph are
+// byte-identical cache hits that rebuild nothing, and /metrics reports both
+// the registry footprint and the cache counters — the top-level engine
+// snapshot shape staying as existing scrapers expect it (TestMetricsEndpoint
+// pins that separately).
+func TestRegistryCacheOnServer(t *testing.T) {
+	h := newTestServer(t, 1, -1).handler()
+
+	first := get(t, h, "/graphs/k5/local?theta=0.3")
+	if first.Code != http.StatusOK {
+		t.Fatalf("cold query = %d, body %q", first.Code, first.Body.String())
+	}
+	second := get(t, h, "/graphs/k5/local?theta=0.3")
+	if second.Code != http.StatusOK {
+		t.Fatalf("warm query = %d, body %q", second.Code, second.Body.String())
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Errorf("cache hit changed the response:\ncold %s\nwarm %s", first.Body.String(), second.Body.String())
+	}
+
+	var doc struct {
+		pn.EngineSnapshot
+		Registry pn.RegistryStats `json:"registry"`
+	}
+	if err := json.Unmarshal(get(t, h, "/metrics").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Registry.Graphs != 1 || doc.Registry.CachedResults != 1 {
+		t.Errorf("registry stats = %+v, want 1 graph with 1 cached result", doc.Registry)
+	}
+	if doc.CacheHits != 1 || doc.CacheMisses != 1 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/1", doc.CacheHits, doc.CacheMisses)
+	}
+	// Exactly one index build: registration. The queries reused it.
+	if doc.IndexBuilds != 1 {
+		t.Errorf("index builds = %d, want 1 (registration only)", doc.IndexBuilds)
 	}
 }
 

@@ -76,21 +76,22 @@ func (r NucleiRequest) Validate() error {
 	if !(r.Theta > 0 && r.Theta <= 1) {
 		return errTheta(r.Theta)
 	}
-	return r.mcOptions(nil, nil, nil).validateSampleSpec()
+	return r.mcOptions(nil, nil, nil, nil).validateSampleSpec()
 }
 
-// mcOptions lowers the request onto a shard's pool, world-mask bank, and
-// observer.
-func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank, o obs.Observer) MCOptions {
+// mcOptions lowers the request onto a shard's pool, world-mask bank,
+// observer, and optional prepare-stage artifact.
+func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank, o obs.Observer, pre *Prepared) MCOptions {
 	return MCOptions{
-		Eps:     r.Eps,
-		Delta:   r.Delta,
-		Samples: r.Samples,
-		Seed:    r.Seed,
-		Local:   r.Local,
-		Pool:    pool,
-		Bank:    bank,
-		Obs:     o,
+		Eps:      r.Eps,
+		Delta:    r.Delta,
+		Samples:  r.Samples,
+		Seed:     r.Seed,
+		Local:    r.Local,
+		Prepared: pre,
+		Pool:     pool,
+		Bank:     bank,
+		Obs:      o,
 	}
 }
 
@@ -470,11 +471,48 @@ func (e *Engine) now() time.Time {
 	return time.Now()
 }
 
+// Prepare builds the immutable prepare-stage artifact for pg on a free
+// shard: the triangle index and 4-clique completion lists every query needs,
+// enumerated once. The returned Prepared is safe to share across concurrent
+// requests and shards; hand it to the *Prepared request variants (or a
+// registry) so repeated queries skip enumeration entirely. A cancelled ctx
+// returns ctx.Err(), and a panicking enumeration returns ErrInternal while
+// its shard is quarantined and rebuilt.
+func (e *Engine) Prepare(ctx context.Context, pg *probgraph.Graph) (*Prepared, error) {
+	start := e.now()
+	s, err := e.acquire(ctx, obs.SemPrepare)
+	if err != nil {
+		return nil, err
+	}
+	var pre *Prepared
+	err = e.guarded(s, obs.SemPrepare, func() error {
+		var kerr error
+		pre, kerr = newPrepared(pg, s.pool, e.obs)
+		return kerr
+	})
+	if err != nil {
+		pre = nil // a panic mid-enumeration may have left a partial artifact
+	}
+	e.finish(obs.SemPrepare, start, err)
+	return pre, err
+}
+
 // Local answers one ℓ-NuDecomp request on a free shard. The result is
 // byte-identical to LocalDecompose at the same θ/Mode/Hyper; a cancelled ctx
 // makes it return ctx.Err() instead, and a panicking decomposition returns
 // ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalRequest) (*LocalResult, error) {
+	return e.local(ctx, pg, nil, req)
+}
+
+// LocalPrepared answers one ℓ-NuDecomp request from a prepared artifact,
+// skipping triangle enumeration. Results are byte-identical to Local on the
+// artifact's graph.
+func (e *Engine) LocalPrepared(ctx context.Context, pre *Prepared, req LocalRequest) (*LocalResult, error) {
+	return e.local(ctx, pre.pg, pre, req)
+}
+
+func (e *Engine) local(ctx context.Context, pg *probgraph.Graph, pre *Prepared, req LocalRequest) (*LocalResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -485,8 +523,15 @@ func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalReques
 	}
 	var res *LocalResult
 	err = e.guarded(s, obs.SemLocal, func() error {
+		p := pre
+		if p == nil {
+			var perr error
+			if p, perr = newPrepared(pg, s.pool, e.obs); perr != nil {
+				return perr
+			}
+		}
 		var kerr error
-		res, kerr = localDecompose(pg, req.Theta, Options{
+		res, kerr = localDecompose(p, req.Theta, Options{
 			Mode:         req.Mode,
 			Hyper:        req.Hyper,
 			MethodCounts: req.MethodCounts,
@@ -508,25 +553,16 @@ func (e *Engine) Local(ctx context.Context, pg *probgraph.Graph, req LocalReques
 // makes it return ctx.Err() instead, and a panicking decomposition returns
 // ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	start := e.now()
-	s, err := e.acquire(ctx, obs.SemGlobal)
-	if err != nil {
-		return nil, err
-	}
-	var out []ProbNucleus
-	err = e.guarded(s, obs.SemGlobal, func() error {
-		var kerr error
-		out, kerr = globalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
-		return kerr
-	})
-	if err != nil {
-		out = nil
-	}
-	e.finish(obs.SemGlobal, start, err)
-	return out, err
+	return e.nuclei(ctx, pg, nil, req, obs.SemGlobal)
+}
+
+// GlobalPrepared answers one g-NuDecomp request from a prepared artifact:
+// the internal pruning decomposition runs from the artifact's index instead
+// of re-enumerating. Results are byte-identical to Global on the artifact's
+// graph. A caller-supplied req.Local still takes precedence over the
+// artifact.
+func (e *Engine) GlobalPrepared(ctx context.Context, pre *Prepared, req NucleiRequest) ([]ProbNucleus, error) {
+	return e.nuclei(ctx, pre.pg, pre, req, obs.SemGlobal)
 }
 
 // Weak answers one w-NuDecomp request on a free shard, sampling its possible
@@ -535,23 +571,38 @@ func (e *Engine) Global(ctx context.Context, pg *probgraph.Graph, req NucleiRequ
 // return ctx.Err() instead, and a panicking decomposition returns
 // ErrInternal while its shard is quarantined and rebuilt.
 func (e *Engine) Weak(ctx context.Context, pg *probgraph.Graph, req NucleiRequest) ([]ProbNucleus, error) {
+	return e.nuclei(ctx, pg, nil, req, obs.SemWeak)
+}
+
+// WeakPrepared answers one w-NuDecomp request from a prepared artifact; see
+// GlobalPrepared.
+func (e *Engine) WeakPrepared(ctx context.Context, pre *Prepared, req NucleiRequest) ([]ProbNucleus, error) {
+	return e.nuclei(ctx, pre.pg, pre, req, obs.SemWeak)
+}
+
+func (e *Engine) nuclei(ctx context.Context, pg *probgraph.Graph, pre *Prepared, req NucleiRequest, sem obs.Semantics) ([]ProbNucleus, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	start := e.now()
-	s, err := e.acquire(ctx, obs.SemWeak)
+	s, err := e.acquire(ctx, sem)
 	if err != nil {
 		return nil, err
 	}
 	var out []ProbNucleus
-	err = e.guarded(s, obs.SemWeak, func() error {
+	err = e.guarded(s, sem, func() error {
 		var kerr error
-		out, kerr = weaklyGlobalNuclei(pg, req.K, req.Theta, req.mcOptions(s.pool, &s.bank, e.obs))
+		opts := req.mcOptions(s.pool, &s.bank, e.obs, pre)
+		if sem == obs.SemWeak {
+			out, kerr = weaklyGlobalNuclei(pg, req.K, req.Theta, opts)
+		} else {
+			out, kerr = globalNuclei(pg, req.K, req.Theta, opts)
+		}
 		return kerr
 	})
 	if err != nil {
 		out = nil
 	}
-	e.finish(obs.SemWeak, start, err)
+	e.finish(sem, start, err)
 	return out, err
 }

@@ -26,6 +26,12 @@ type MCOptions struct {
 	// Local supplies a precomputed exact local decomposition at the same θ
 	// to prune the search space; when nil it is computed internally.
 	Local *LocalResult
+	// Prepared, when non-nil and Local is nil, supplies the prepare-stage
+	// artifact the internal local decomposition runs from, skipping triangle
+	// enumeration. It is engine plumbing, set by the *Prepared request
+	// variants; ignored when Local is set (the LocalResult already embeds
+	// its index).
+	Prepared *Prepared
 	// Workers bounds the worker pool for possible-world sampling and
 	// per-world evaluation: 0 (the default) means runtime.GOMAXPROCS, 1 runs
 	// fully serial. Worlds are drawn from chunk-derived PRNGs (see package
@@ -98,6 +104,21 @@ func (o MCOptions) worldBank() *mc.Bank {
 		b.Tap = o.Obs.WorldBatch
 	}
 	return b
+}
+
+// localResult resolves the pruning local decomposition the global and weak
+// kernels run from: the caller-supplied one when set, otherwise an exact DP
+// decomposition computed on the kernel's pool — from the prepared artifact
+// when one was supplied (no enumeration), from scratch when not.
+func (o MCOptions) localResult(pg *probgraph.Graph, theta float64) (*LocalResult, error) {
+	if o.Local != nil {
+		return o.Local, nil
+	}
+	lopts := Options{Mode: ModeDP, Pool: o.Pool, Obs: o.Obs}
+	if o.Prepared != nil {
+		return localDecompose(o.Prepared, theta, lopts)
+	}
+	return LocalDecompose(pg, theta, lopts)
 }
 
 // nucleiRequest lifts (k, θ) plus the sampling knobs of o into the request
@@ -180,13 +201,9 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 		return nil, err
 	}
 	pool := opts.Pool
-	local := opts.Local
-	if local == nil {
-		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool, Obs: opts.Obs})
-		if err != nil {
-			return nil, err
-		}
+	local, err := opts.localResult(pg, theta)
+	if err != nil {
+		return nil, err
 	}
 
 	// C: union of ℓ-(k,θ)-nuclei, with its level-k clique structure.

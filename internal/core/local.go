@@ -110,7 +110,16 @@ type LocalResult struct {
 // run the identical kernel.
 func LocalDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
 	if opts.Pool != nil {
-		return localDecompose(pg, theta, opts)
+		// Validate θ before paying for triangle enumeration, matching the
+		// kernel's own fail-fast order.
+		if !(theta > 0 && theta <= 1) {
+			return nil, errTheta(theta)
+		}
+		pre, err := newPrepared(pg, opts.Pool, opts.Obs)
+		if err != nil {
+			return nil, err
+		}
+		return localDecompose(pre, theta, opts)
 	}
 	req := localRequest(theta, opts)
 	if err := req.Validate(); err != nil {
@@ -133,22 +142,22 @@ func localRequest(theta float64, o Options) LocalRequest {
 	}
 }
 
-// localDecompose is the LocalDecompose kernel; it requires opts.Pool and
-// runs entirely on it. Cancellation of the pool's bound context is observed
-// between pool chunks and at every peeling step, returning ctx.Err().
-func localDecompose(pg *probgraph.Graph, theta float64, opts Options) (*LocalResult, error) {
+// localDecompose is the execute stage of the LocalDecompose kernel: it
+// consumes a prepared artifact — never enumerating triangles itself — and
+// requires opts.Pool, running entirely on it. The artifact is only read, so
+// concurrent calls sharing one Prepared are safe. Cancellation of the pool's
+// bound context is observed between pool chunks and at every peeling step,
+// returning ctx.Err().
+func localDecompose(pre *Prepared, theta float64, opts Options) (*LocalResult, error) {
 	if !(theta > 0 && theta <= 1) {
 		return nil, errTheta(theta)
 	}
 	if opts.Hyper == (pbd.Hyper{}) {
 		opts.Hyper = pbd.DefaultHyper
 	}
+	pg, ti := pre.pg, pre.ti
 	pool := opts.Pool
 	workers := pool.Workers()
-	ti := graph.NewTriangleIndexPool(pg.G, pool)
-	if err := pool.Err(); err != nil {
-		return nil, err
-	}
 	ca := decomp.NewCliqueAdjFromIndex(ti)
 	n := ti.Len()
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"probnucleus/internal/graph"
+	"probnucleus/internal/obs"
+	"probnucleus/internal/par"
+	"probnucleus/internal/probgraph"
+)
+
+// Prepared is the immutable prepare-stage artifact of the split request
+// path: the probabilistic graph (CSR adjacency plus its cached canonical
+// edge list) together with its fully-enumerated triangle index and 4-clique
+// completion lists — the dominant fixed cost of every (θ,k)-nucleus query,
+// paid once instead of per call.
+//
+// A Prepared is safe to share across concurrent requests and engine shards:
+// every field is read-only after construction, and the kernels consume the
+// index through read-only walks or id-translating SubIndex views whose
+// mutable scratch is caller-owned (see graph.TriangleIndex). Queries served
+// from a Prepared never re-enumerate triangles, so they never fire the
+// obs.IndexBuilt counter — which is how the registry's differential tests
+// prove the cached path skips enumeration entirely.
+type Prepared struct {
+	pg *probgraph.Graph
+	ti *graph.TriangleIndex
+}
+
+// Graph returns the probabilistic graph the artifact was prepared from.
+func (p *Prepared) Graph() *probgraph.Graph { return p.pg }
+
+// Triangles returns the number of indexed triangles.
+func (p *Prepared) Triangles() int { return p.ti.Len() }
+
+// Cliques returns the number of 4-cliques in the completion lists.
+func (p *Prepared) Cliques() int { return p.ti.CliqueCount() }
+
+// Edges returns the canonical probabilistic edge list. The slice is shared
+// with the artifact and must not be mutated.
+func (p *Prepared) Edges() []probgraph.ProbEdge { return p.pg.Edges() }
+
+// newPrepared builds the artifact on pool, firing obs.IndexBuilt on success
+// — the enumeration event cached paths are measured against.
+func newPrepared(pg *probgraph.Graph, pool *par.Pool, o obs.Observer) (*Prepared, error) {
+	ti := graph.NewTriangleIndexPool(pg.G, pool)
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
+	if o != nil {
+		o.IndexBuilt(ti.Len())
+	}
+	return &Prepared{pg: pg, ti: ti}, nil
+}
+
+// Prepare enumerates pg's triangle index once, up front, on a fresh pool of
+// the given worker count (0 = all cores), returning the immutable artifact
+// the *Prepared request variants accept. Use Engine.Prepare to build one on
+// a serving shard instead.
+func Prepare(pg *probgraph.Graph, workers int) (*Prepared, error) {
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	return newPrepared(pg, pool, nil)
+}

@@ -64,13 +64,9 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		return nil, err
 	}
 	pool := opts.Pool
-	local := opts.Local
-	if local == nil {
-		var err error
-		local, err = LocalDecompose(pg, theta, Options{Mode: ModeDP, Pool: pool, Obs: opts.Obs})
-		if err != nil {
-			return nil, err
-		}
+	local, err := opts.localResult(pg, theta)
+	if err != nil {
+		return nil, err
 	}
 	cands := local.NucleiForK(k)
 	if len(cands) == 0 {

@@ -181,6 +181,16 @@ func (o *Observer) RequestPanicked(s obs.Semantics)                 { o.inner.Re
 func (o *Observer) ShardQuarantined()                               { o.inner.ShardQuarantined() }
 func (o *Observer) ShardRebuilt()                                   { o.inner.ShardRebuilt() }
 
+// The cache/prepare events forward without an injector step: they fire under
+// the registry's lock or once per index build, not at kernel chunk
+// boundaries, and stepping on them would shift every recorded fault sequence
+// whenever a cache layer is toggled.
+func (o *Observer) IndexBuilt(tris int) { o.inner.IndexBuilt(tris) }
+func (o *Observer) CacheHit()           { o.inner.CacheHit() }
+func (o *Observer) CacheMiss()          { o.inner.CacheMiss() }
+func (o *Observer) CacheEvict()         { o.inner.CacheEvict() }
+func (o *Observer) CacheCoalesce()      { o.inner.CacheCoalesce() }
+
 func (o *Observer) RequestFinished(s obs.Semantics, total time.Duration, failed bool) {
 	o.inner.RequestFinished(s, total, failed)
 }

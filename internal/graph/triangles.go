@@ -178,6 +178,16 @@ func (g *Graph) degeneracyRank() []int32 {
 // hash map for lookup) or a view built by SubIndex: the restriction of a
 // parent index to an edge-subgraph, which answers lookups through the parent
 // plus an id-translation array instead of its own map.
+//
+// A root index is immutable once built — every field, including the lookup
+// map and the completion lists, is written only during construction and only
+// read afterwards. Concurrent lookups from any number of goroutines are
+// therefore safe without synchronisation, which is what lets one prepared
+// artifact (core.Prepared, the registry's cached graphs) serve overlapping
+// requests on different engine shards. The mutable state a decomposition
+// needs — peeling counters, sub-index translation arrays — lives in
+// per-request scratch: SubIndex allocates a fresh view for its caller and
+// never writes through to the parent.
 type TriangleIndex struct {
 	Tris []Triangle
 	ids  map[Triangle]int32

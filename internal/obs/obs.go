@@ -25,6 +25,9 @@ const (
 	SemGlobal
 	// SemWeak is a w-NuDecomp request (Engine.Weak).
 	SemWeak
+	// SemPrepare is an index-preparation request (Engine.Prepare): triangle
+	// enumeration and 4-clique completion without a decomposition.
+	SemPrepare
 
 	// NumSemantics is the number of request semantics.
 	NumSemantics
@@ -39,6 +42,8 @@ func (s Semantics) String() string {
 		return "global"
 	case SemWeak:
 		return "weak"
+	case SemPrepare:
+		return "prepare"
 	}
 	return "unknown"
 }
@@ -130,6 +135,21 @@ type Observer interface {
 	// PoolRound: one worker-pool parallel round processed `items` work items
 	// in wall-clock time d (the internal/par chunk-timing tap).
 	PoolRound(items int, d time.Duration)
+	// IndexBuilt: a triangle index of `tris` triangles was enumerated from
+	// scratch — the dominant fixed cost of a cold query. Requests served from
+	// a Prepared artifact never fire this; a registry differential can
+	// therefore assert "zero rebuilds" by watching the counter stand still.
+	IndexBuilt(tris int)
+	// CacheHit: a registry lookup was served from the keyed result cache.
+	CacheHit()
+	// CacheMiss: a registry lookup found no cached result and computed.
+	CacheMiss()
+	// CacheEvict: the registry's LRU discarded a cached result, for capacity
+	// or because its graph was replaced or deleted.
+	CacheEvict()
+	// CacheCoalesce: a registry lookup joined an identical in-flight compute
+	// instead of duplicating it (singleflight).
+	CacheCoalesce()
 }
 
 // NopObserver implements Observer with no-ops; embed it to observe a subset
@@ -147,6 +167,11 @@ func (NopObserver) WorldBatch(int, int)                            {}
 func (NopObserver) PeelRound(int)                                  {}
 func (NopObserver) Candidate(int)                                  {}
 func (NopObserver) PoolRound(int, time.Duration)                   {}
+func (NopObserver) IndexBuilt(int)                                 {}
+func (NopObserver) CacheHit()                                      {}
+func (NopObserver) CacheMiss()                                     {}
+func (NopObserver) CacheEvict()                                    {}
+func (NopObserver) CacheCoalesce()                                 {}
 
 // histBuckets is the histogram resolution: bucket b counts durations in
 // [2^(b-1), 2^b) nanoseconds, so 40 buckets span sub-ns to ~9 minutes.
@@ -295,6 +320,13 @@ type Metrics struct {
 	poolRounds atomic.Int64
 	poolItems  atomic.Int64
 	poolNanos  atomic.Int64
+
+	indexBuilds    atomic.Int64
+	indexTris      atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	cacheCoalesced atomic.Int64
 }
 
 var _ Observer = (*Metrics)(nil)
@@ -368,6 +400,24 @@ func (m *Metrics) PoolRound(items int, d time.Duration) {
 	m.poolNanos.Add(int64(d))
 }
 
+func (m *Metrics) IndexBuilt(tris int) {
+	m.indexBuilds.Add(1)
+	m.indexTris.Add(int64(tris))
+}
+
+func (m *Metrics) CacheHit() { m.cacheHits.Add(1) }
+
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+func (m *Metrics) CacheEvict() { m.cacheEvictions.Add(1) }
+
+func (m *Metrics) CacheCoalesce() { m.cacheCoalesced.Add(1) }
+
+// IndexBuilds returns the number of triangle indexes enumerated from scratch
+// so far — the counter registry differentials freeze to prove cached paths
+// skip enumeration entirely.
+func (m *Metrics) IndexBuilds() int64 { return m.indexBuilds.Load() }
+
 // RequestSnapshot is the JSON-ready view of one semantics' counters.
 type RequestSnapshot struct {
 	Semantics string            `json:"semantics"`
@@ -402,6 +452,13 @@ type Snapshot struct {
 	PoolRounds int64   `json:"poolRounds"`
 	PoolItems  int64   `json:"poolItems"`
 	PoolTimeMs float64 `json:"poolTimeMs"`
+
+	IndexBuilds    int64 `json:"indexBuilds"`
+	IndexTriangles int64 `json:"indexTriangles"`
+	CacheHits      int64 `json:"cacheHits"`
+	CacheMisses    int64 `json:"cacheMisses"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	CacheCoalesced int64 `json:"cacheCoalesced"`
 }
 
 // Snapshot copies the metrics' current state. Counters are read
@@ -420,6 +477,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		PoolRounds:        m.poolRounds.Load(),
 		PoolItems:         m.poolItems.Load(),
 		PoolTimeMs:        float64(m.poolNanos.Load()) / 1e6,
+		IndexBuilds:       m.indexBuilds.Load(),
+		IndexTriangles:    m.indexTris.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		CacheEvictions:    m.cacheEvictions.Load(),
+		CacheCoalesced:    m.cacheCoalesced.Load(),
 	}
 	for sem := Semantics(0); sem < NumSemantics; sem++ {
 		st := &m.req[sem]

@@ -163,6 +163,11 @@ func TestObserveAllocationFree(t *testing.T) {
 		m.RequestPanicked(SemGlobal)
 		m.ShardQuarantined()
 		m.ShardRebuilt()
+		m.IndexBuilt(42)
+		m.CacheHit()
+		m.CacheMiss()
+		m.CacheEvict()
+		m.CacheCoalesce()
 		m.RequestFinished(SemGlobal, time.Millisecond, false)
 	})
 	if allocs != 0 {
@@ -183,11 +188,19 @@ func TestNopObserverImplements(t *testing.T) {
 	o.PeelRound(0)
 	o.Candidate(0)
 	o.PoolRound(0, 0)
+	o.IndexBuilt(0)
+	o.CacheHit()
+	o.CacheMiss()
+	o.CacheEvict()
+	o.CacheCoalesce()
 }
 
 func TestStringNames(t *testing.T) {
 	if SemLocal.String() != "local" || SemGlobal.String() != "global" || SemWeak.String() != "weak" {
 		t.Error("semantics names wrong")
+	}
+	if SemPrepare.String() != "prepare" {
+		t.Error("prepare semantics name wrong")
 	}
 	if Semantics(200).String() != "unknown" || Reject(200).String() != "unknown" {
 		t.Error("out-of-range names should be unknown")
@@ -217,6 +230,30 @@ func TestFaultAccounting(t *testing.T) {
 	}
 	if got := s.Requests[SemLocal].Rejected["doomed"]; got != 1 {
 		t.Errorf("local doomed rejections = %d, want 1", got)
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	var m Metrics
+	m.IndexBuilt(10)
+	m.IndexBuilt(32)
+	m.CacheHit()
+	m.CacheHit()
+	m.CacheHit()
+	m.CacheMiss()
+	m.CacheEvict()
+	m.CacheCoalesce()
+	m.CacheCoalesce()
+	s := m.Snapshot()
+	if s.IndexBuilds != 2 || s.IndexTriangles != 42 {
+		t.Errorf("index builds/triangles = %d/%d, want 2/42", s.IndexBuilds, s.IndexTriangles)
+	}
+	if s.CacheHits != 3 || s.CacheMisses != 1 || s.CacheEvictions != 1 || s.CacheCoalesced != 2 {
+		t.Errorf("cache hits/misses/evictions/coalesced = %d/%d/%d/%d, want 3/1/1/2",
+			s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheCoalesced)
+	}
+	if got := m.IndexBuilds(); got != 2 {
+		t.Errorf("IndexBuilds() = %d, want 2", got)
 	}
 }
 

@@ -39,6 +39,18 @@
 //	defer cancel()
 //	res, _ := eng.Local(ctx, pg, probnucleus.LocalRequest{Theta: 0.3})
 //	nuclei, _ := eng.Global(ctx, pg, probnucleus.NucleiRequest{K: 1, Theta: 0.3, Samples: 500})
+//
+// Serving many graphs, layer a Registry over the engine: graphs register by
+// name as immutable prepared artifacts (triangle index enumerated once, at
+// registration), repeated queries at the same (graph, θ, mode) are served
+// from a keyed LRU cache, and a thundering herd on one hot key computes once
+// (see the README's Multi-graph serving section):
+//
+//	reg := probnucleus.NewRegistry(eng, probnucleus.WithCacheCapacity(128))
+//	reg.Put(ctx, "krogan", pg)
+//	res, _ := reg.Local(ctx, "krogan", probnucleus.LocalRequest{Theta: 0.3})   // computes, caches
+//	res2, _ := reg.Local(ctx, "krogan", probnucleus.LocalRequest{Theta: 0.3})  // cache hit: no peel, no enumeration
+//	nuclei, _ := reg.Global(ctx, "krogan", probnucleus.NucleiRequest{K: 1, Theta: 0.3, Samples: 500})
 package probnucleus
 
 import (
@@ -55,6 +67,7 @@ import (
 	"probnucleus/internal/probcore"
 	"probnucleus/internal/probgraph"
 	"probnucleus/internal/probtruss"
+	"probnucleus/internal/registry"
 )
 
 // Graph is a probabilistic graph: an undirected simple graph whose edges
@@ -241,6 +254,72 @@ var (
 // counters, and closed state — shaped for readiness endpoints. Read it with
 // Engine.Health.
 type EngineHealth = core.Health
+
+// --- Prepared artifacts and multi-graph serving ---
+
+// Prepared is the immutable prepare-stage artifact of the split request
+// path: a graph's triangle index and 4-clique completion lists, enumerated
+// once and shared by every query that consumes it. Build one with Prepare or
+// Engine.Prepare and hand it to the *Prepared request variants
+// (Engine.LocalPrepared, Engine.GlobalPrepared, Engine.WeakPrepared) — or
+// register the graph in a Registry, which manages artifacts by name. A
+// Prepared is safe to share across concurrent requests and shards.
+type Prepared = core.Prepared
+
+// Prepare enumerates pg's triangle index up front on a fresh pool of the
+// given worker count (0 = all cores), returning the reusable artifact.
+// Results from prepared-artifact queries are byte-identical to the per-call
+// path.
+func Prepare(pg *Graph, workers int) (*Prepared, error) { return core.Prepare(pg, workers) }
+
+// Registry is the multi-graph, multi-tenant serving layer over an Engine:
+// named graphs held as prepared artifacts (Put/Get/Delete, versioned on
+// replace), a keyed LRU cache of local decomposition results per
+// (graph, θ, mode), and singleflight coalescing so concurrent identical
+// queries compute once. All methods are safe for concurrent use; results are
+// byte-identical to the Engine methods on the same graph.
+type Registry = registry.Registry
+
+// NewRegistry builds a Registry serving through eng. The registry does not
+// own the engine — close the engine yourself, after the registry's callers
+// are done.
+func NewRegistry(eng *Engine, opts ...RegistryOption) *Registry {
+	return registry.New(eng, opts...)
+}
+
+// RegistryOption configures NewRegistry.
+type RegistryOption = registry.Option
+
+// WithCacheCapacity bounds the registry's result LRU (default
+// DefaultCacheCapacity; n <= 0 disables caching).
+func WithCacheCapacity(n int) RegistryOption { return registry.WithCacheCapacity(n) }
+
+// DefaultCacheCapacity is the registry's result-LRU bound when
+// WithCacheCapacity is not given.
+const DefaultCacheCapacity = registry.DefaultCacheCapacity
+
+// WithRegistryObserver attaches an observer to the registry's cache events
+// (hits, misses, evictions, coalesced waits). Pass the engine's
+// EngineMetrics so one Snapshot covers the whole request path.
+func WithRegistryObserver(o EngineObserver) RegistryOption { return registry.WithObserver(o) }
+
+// GraphHandle is the immutable public view of one registered graph: name,
+// version, and size counts.
+type GraphHandle = registry.GraphHandle
+
+// RegistryStats is a point-in-time view of a Registry's footprint: graph
+// count, cached results against capacity, and in-flight computes.
+type RegistryStats = registry.Stats
+
+// Registry sentinel errors, matched with errors.Is.
+var (
+	// ErrUnknownGraph reports a query or lookup naming an unregistered graph
+	// (serve it as HTTP 404).
+	ErrUnknownGraph = registry.ErrUnknownGraph
+	// ErrDuplicateGraph reports a Registry.Add under a taken name (serve it
+	// as HTTP 409); Put replaces instead.
+	ErrDuplicateGraph = registry.ErrDuplicateGraph
+)
 
 // Decomposer bundles LocalDecompose, GlobalNuclei, and WeaklyGlobalNuclei
 // around one persistent worker pool: repeated decompositions reuse the same

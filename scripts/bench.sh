@@ -11,7 +11,11 @@
 #     full per-world bucket-queue peels (krogan/dblp/flickr measured at that
 #     commit on the current runner, with flickr added to the benchmark set).
 #   - BenchmarkEngineReuse rows carry no historical baseline: the comparison
-#     is internal (bank-reusing warm Engine shard vs the per-call path).
+#     is internal, cold vs warm. The cold rows pay the full per-request path
+#     (triangle enumeration + peel, plus Monte-Carlo for global); the warm
+#     rows query a Registry with the graph registered and the result cached —
+#     a warm local query is a zero-allocation cache hit, a warm global query
+#     pays only validation on the shared prepared artifact.
 #   - BenchmarkEngineContended rows: commit c274ddd (PR 6), before the
 #     fault-tolerance layer. These baselines are CURRENT, not historical:
 #     the noise gate below asserts that disabled fault injection keeps the

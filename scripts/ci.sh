@@ -57,6 +57,19 @@ echo "==> go test -race engine stress (concurrent serving + overload/shutdown)"
 go test -race -count=2 -run 'TestEngineConcurrentStress|TestEngineCancellation|TestEngineDeadline|TestEngineOverload|TestEngineCloseIdempotent|TestEngineConcurrentCloseStress' ./internal/core
 go test -race -count=2 ./examples/engine-server
 
+# The prepare/execute split and the multi-graph registry get their own -race
+# passes. TestPreparedConcurrentShared and TestRegistryDifferential are the
+# split's semantic gate: results computed against a shared prepared artifact
+# — or served from the registry's cache — must be byte-identical to the
+# per-call package-level path, with zero triangle-index rebuilds after
+# registration. TestRegistrySingleflight pins one-compute-per-burst
+# coalescing, and TestRegistryChurn is the eviction-churn chaos case:
+# concurrent Put/Delete racing cached queries may only ever fail with
+# ErrUnknownGraph, never serve a stale or torn result.
+echo "==> go test -race registry suite (prepared differential, singleflight, churn)"
+go test -race -count=2 -run 'TestPreparedMatchesPerCall|TestPreparedConcurrentShared|TestPrepareBuildsIndexOnce' ./internal/core
+go test -race -count=2 ./internal/registry
+
 # The fault-tolerance layer's chaos suite gets its own -race pass: randomized
 # injected panics/delays/forced-cancels across all three semantics must never
 # crash the process, leak or double-release a shard, or surface an untyped
