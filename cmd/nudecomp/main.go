@@ -24,6 +24,13 @@
 //
 //	nudecomp -dataset biomine -theta 0.001 -mode weak -timeout 30s
 //
+// -window streams the global/weak Monte-Carlo world bank in fixed-size
+// windows instead of materializing all samples at once, bounding peak
+// world-mask memory (visible as "peak bank" under -stats) while producing
+// byte-identical nuclei at every window size:
+//
+//	nudecomp -dataset flickr -theta 0.001 -mode global -samples 1000 -window 100 -stats
+//
 // -cpuprofile and -memprofile write pprof profiles of the decomposition
 // phase (graph loading excluded), so hot-path regressions are diagnosable
 // straight from the CLI:
@@ -61,6 +68,7 @@ func main() {
 		k       = flag.Int("k", 1, "nucleus level for global/weak modes")
 		samples = flag.Int("samples", 200, "Monte-Carlo samples for global/weak modes")
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
+		window  = flag.Int("window", 0, "stream the world bank in windows of this many worlds (0 = one bank); results are identical at every window size")
 		top     = flag.Int("top", 5, "print at most this many nuclei per level")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 		timeout = flag.Duration("timeout", 0, "abort the decomposition after this long (0 = no limit)")
@@ -150,14 +158,14 @@ func main() {
 			}
 			printLocal(res, *top)
 		case "global":
-			nuclei, err := eng.GlobalPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed})
+			nuclei, err := eng.GlobalPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window})
 			if err != nil {
 				runErr = err
 				break
 			}
 			printProbNuclei("g", nuclei, *k, th, *top)
 		case "weak":
-			nuclei, err := eng.WeakPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed})
+			nuclei, err := eng.WeakPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window})
 			if err != nil {
 				runErr = err
 				break
@@ -202,13 +210,26 @@ func printStats(snap pn.EngineSnapshot) {
 			r.Semantics, r.Finished, r.Failed, r.Latency.MeanMs, r.Latency.P99Ms, r.Latency.MaxMs)
 	}
 	if snap.WorldBatches > 0 {
-		fmt.Printf("  monte-carlo: %d worlds in %d batches\n", snap.Worlds, snap.WorldBatches)
+		fmt.Printf("  monte-carlo: %d worlds in %d batches, peak bank %s\n",
+			snap.Worlds, snap.WorldBatches, fmtBytes(snap.BankPeakBytes))
 	}
 	if snap.Candidates > 0 {
 		fmt.Printf("  candidates: %d validated, %d triangles\n", snap.Candidates, snap.CandidateTris)
 	}
 	fmt.Printf("  peeling: %d rounds\n", snap.PeelRounds)
 	fmt.Printf("  pool: %d rounds, %d items, %.1fms busy\n", snap.PoolRounds, snap.PoolItems, snap.PoolTimeMs)
+}
+
+// fmtBytes renders a byte count with a binary-prefix unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func printLocal(res *pn.LocalResult, top int) {

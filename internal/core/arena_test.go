@@ -113,7 +113,11 @@ func TestSharedWorldGlobalValidationAllocationFree(t *testing.T) {
 	defer pool.Close()
 	union := appendTriangleEdges(nil, cs.ti, cs.triangles)
 	masks, words := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), 16, 1)
-	est := newGlobalEstimator(pool, union, masks, words, 16)
+	est := newGlobalEstimator(pool, cs.ti, pg.NumVertices(), union, 16, 0.001)
+	if est.words != words {
+		t.Fatalf("estimator words %d != bank words %d", est.words, words)
+	}
+	est.setWindow(masks, 16)
 	var hs []*graph.Graph
 	var ess [][]graph.Edge
 	var seen triSetDedup
@@ -127,16 +131,110 @@ func TestSharedWorldGlobalValidationAllocationFree(t *testing.T) {
 		hs = append(hs, graph.FromSortedEdges(pg.NumVertices(), edges))
 	}
 	for i, h := range hs { // warm every scratch buffer
-		est.estimate(h, ess[i], cs.ti, 1, 0.001)
+		est.estimate(h, ess[i], cs.ti, 1)
 	}
 	i := 0
 	allocs := testing.AllocsPerRun(100, func() {
 		j := i % len(hs)
-		est.estimate(hs[j], ess[j], cs.ti, 1, 0.001)
+		est.estimate(hs[j], ess[j], cs.ti, 1)
 		i++
 	})
 	if allocs != 0 {
 		t.Errorf("shared-world candidate validation allocates %v per candidate, want 0", allocs)
+	}
+}
+
+// TestWindowStreamingScanAllocationFree: streaming one more window past an
+// already-known candidate — the window rebind (shared aliveness fill
+// included), candidate reseed, world scan, and totals merge — must not
+// allocate at steady state. This is the allocation contract of the windowed
+// bank path: peak memory is the window, and cycling windows costs no churn.
+func TestWindowStreamingScanAllocationFree(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.08)))
+	local, err := LocalDecompose(pg, 0.1, Options{Mode: ModeDP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCandidateSpace(local, 1)
+	if len(cs.triangles) < 4 {
+		t.Fatalf("fixture too small: %d candidate triangles", len(cs.triangles))
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	union := appendTriangleEdges(nil, cs.ti, cs.triangles)
+	upg := pg.SubgraphOfEdges(union)
+	var bank mc.Bank
+	const n, win = 64, 16
+	est := newGlobalEstimator(pool, cs.ti, pg.NumVertices(), union, n, 0.001)
+	edges := appendTriangleEdges(nil, cs.ti, cs.closure(cs.triangles[0], 1))
+	h := graph.FromSortedEdges(pg.NumVertices(), edges)
+	var totals []int32
+	for lo := 0; lo < n; lo += win { // warm every scratch buffer
+		masks, _ := bank.WorldMasksWindow(pool, upg, n, lo, lo+win, 1)
+		est.setWindow(masks, win)
+		m := est.seedCandidate(h, edges, cs.ti, 1)
+		totals = resizeCleared(totals, m)
+		est.scanInto(totals)
+	}
+	lo := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		masks, _ := bank.WorldMasksWindow(pool, upg, n, lo, lo+win, 1)
+		est.setWindow(masks, win)
+		est.seedCandidate(h, edges, cs.ti, 1)
+		est.scanInto(totals)
+		lo = (lo + win) % n
+	})
+	if allocs != 0 {
+		t.Errorf("window streaming allocates %v per window, want 0", allocs)
+	}
+}
+
+// TestAlivenessRebindAllocationFree: rebinding the shared-aliveness seed
+// across candidates of different shapes — Seed plus BindAliveness plus the
+// alive-bit scan — must not allocate once the seed's uid scratch has grown
+// to the largest candidate.
+func TestAlivenessRebindAllocationFree(t *testing.T) {
+	pg := dataset.Generate(dataset.MustLoad("krogan", dataset.Scale(0.08)))
+	local, err := LocalDecompose(pg, 0.1, Options{Mode: ModeDP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCandidateSpace(local, 1)
+	if len(cs.triangles) < 4 {
+		t.Fatalf("fixture too small: %d candidate triangles", len(cs.triangles))
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	union := appendTriangleEdges(nil, cs.ti, cs.triangles)
+	masks, _ := mc.WorldMasksPool(pool, pg.SubgraphOfEdges(union), 16, 1)
+	est := newGlobalEstimator(pool, cs.ti, pg.NumVertices(), union, 16, 0.001)
+	est.setWindow(masks, 16)
+	var hs []*graph.Graph
+	var ess [][]graph.Edge
+	var seen triSetDedup
+	for _, seed := range cs.triangles {
+		closure := cs.closure(seed, 1)
+		if !seen.insert(closure) {
+			continue
+		}
+		edges := appendTriangleEdges(nil, cs.ti, closure)
+		ess = append(ess, edges)
+		hs = append(hs, graph.FromSortedEdges(pg.NumVertices(), edges))
+	}
+	for i, h := range hs { // warm every scratch buffer
+		est.seedCandidate(h, ess[i], cs.ti, 1)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		j := i % len(hs)
+		m := est.seedCandidate(hs[j], ess[j], cs.ti, 1)
+		for t := 0; t < m; t++ {
+			_ = est.aliveCnt[est.seed.AliveUID(t)]
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("aliveness rebind allocates %v per candidate, want 0", allocs)
 	}
 }
 

@@ -59,6 +59,12 @@ type NucleiRequest struct {
 	// Seed roots the world PRNG streams; estimates depend only on it, never
 	// on the shard's worker count.
 	Seed int64
+	// Window, when positive and smaller than the sample count, streams the
+	// shared world-mask bank through fixed-size windows of that many worlds,
+	// bounding the shard's peak bank memory at Window×⌈|E∪|/64⌉ words. The
+	// results are byte-identical to the full-bank default (see
+	// MCOptions.Window).
+	Window int
 	// Local optionally supplies a precomputed exact local decomposition at
 	// Theta to prune the search space; when nil it is computed per request.
 	Local *LocalResult
@@ -87,6 +93,7 @@ func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank, o obs.Observer, 
 		Delta:    r.Delta,
 		Samples:  r.Samples,
 		Seed:     r.Seed,
+		Window:   r.Window,
 		Local:    r.Local,
 		Prepared: pre,
 		Pool:     pool,

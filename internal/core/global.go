@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"context"
 	"fmt"
+	"math"
 	"slices"
 
 	"probnucleus/internal/decomp"
@@ -32,6 +33,15 @@ type MCOptions struct {
 	// variants; ignored when Local is set (the LocalResult already embeds
 	// its index).
 	Prepared *Prepared
+	// Window, when positive and smaller than the sample count, streams the
+	// shared world-mask bank through fixed-size windows of that many worlds
+	// instead of materializing all n×⌈|E∪|/64⌉ mask words at once: peak bank
+	// memory is bounded by Window×words, candidates are re-scanned per window
+	// with persistent per-triangle totals, and the results are byte-identical
+	// to the full-bank path (the windowed draw replays the identical PRNG
+	// streams; see mc.Bank.WorldMasksWindow). Zero (the default) or a value
+	// ≥ the sample count draws the full bank in one window.
+	Window int
 	// Workers bounds the worker pool for possible-world sampling and
 	// per-world evaluation: 0 (the default) means runtime.GOMAXPROCS, 1 runs
 	// fully serial. Worlds are drawn from chunk-derived PRNGs (see package
@@ -79,6 +89,9 @@ func (o MCOptions) sampleCount() int {
 func (o MCOptions) validateSampleSpec() error {
 	if o.Samples < 0 {
 		return fmt.Errorf("core: samples = %d: %w", o.Samples, ErrBadSampleSpec)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("core: window = %d: %w", o.Window, ErrBadSampleSpec)
 	}
 	if o.Samples == 0 {
 		if o.Eps != 0 && !(o.Eps > 0 && o.Eps <= 1) {
@@ -132,6 +145,7 @@ func nucleiRequest(k int, theta float64, o MCOptions) NucleiRequest {
 		Delta:   o.Delta,
 		Samples: o.Samples,
 		Seed:    o.Seed,
+		Window:  o.Window,
 		Local:   o.Local,
 	}
 }
@@ -213,17 +227,68 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 	}
 	// One shared world stream over the union of all candidate edges (every
 	// candidate is a subgraph of it), sampled as one flat bank of edge
-	// bitmasks.
+	// bitmasks — in one window by default, or streamed through fixed-size
+	// windows when opts.Window bounds the bank's peak memory.
 	union := appendTriangleEdges(nil, cand.ti, cand.triangles)
 	n := opts.sampleCount()
-	masks, words := opts.worldBank().WorldMasks(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
-	if err := pool.Err(); err != nil {
-		return nil, err
+	window := opts.Window
+	if window <= 0 || window > n {
+		window = n
 	}
-	est := newGlobalEstimator(pool, union, masks, words, n)
+	upg := pg.SubgraphOfEdges(union)
+	bank := opts.worldBank()
+	est := newGlobalEstimator(pool, cand.ti, pg.NumVertices(), union, n, theta)
 	var out []ProbNucleus
 	var seen triSetDedup
 	var edges []graph.Edge
+
+	if window == n {
+		masks, _ := bank.WorldMasks(pool, upg, n, opts.Seed)
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
+		est.setWindow(masks, n)
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
+		for _, seed := range cand.triangles {
+			if err := pool.Err(); err != nil {
+				return nil, err
+			}
+			closure := cand.closure(seed, k)
+			if !seen.insert(closure) {
+				continue
+			}
+			if opts.Obs != nil {
+				opts.Obs.Candidate(len(closure))
+			}
+			edges = appendTriangleEdges(edges[:0], cand.ti, closure)
+			h := graph.FromSortedEdges(pg.NumVertices(), edges)
+			minProb, ok := est.estimate(h, edges, cand.ti, k)
+			if !ok {
+				continue
+			}
+			out = append(out, buildProbNucleus(cand.ti, closure, k, theta, minProb))
+		}
+		// The last candidate may have been estimated against a half-filled
+		// world batch; one final check keeps cancelled calls from returning it.
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
+		sortNuclei(out)
+		return out, nil
+	}
+
+	// Windowed streaming: enumerate the deduplicated candidates up front,
+	// then stream the bank window by window past all of them, accumulating
+	// each candidate's per-triangle qualifying-world totals. The totals are
+	// sums of the same integers the full-bank path sums, so the final
+	// verdicts — estimates, pass/fail, reported minima — are byte-identical;
+	// only the peak mask memory changes. (The full-bank path's early exits —
+	// the θ-failing-triangle break and the aliveness prune — only skip work,
+	// never change a verdict, so their absence here is invisible.)
+	closOff := make([]int32, 1, len(cand.triangles)+1)
+	var closFlat []int32
 	for _, seed := range cand.triangles {
 		if err := pool.Err(); err != nil {
 			return nil, err
@@ -235,18 +300,48 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 		if opts.Obs != nil {
 			opts.Obs.Candidate(len(closure))
 		}
-		edges = appendTriangleEdges(edges[:0], cand.ti, closure)
-		h := graph.FromSortedEdges(pg.NumVertices(), edges)
-		minProb, ok := est.estimate(h, edges, cand.ti, k, theta)
+		closFlat = append(closFlat, closure...)
+		closOff = append(closOff, int32(len(closFlat)))
+	}
+	nc := len(closOff) - 1
+	cntOff := make([]int32, 1, nc+1)
+	var cntFlat []int32
+	for lo := 0; lo < n; lo += window {
+		hi := lo + window
+		if hi > n {
+			hi = n
+		}
+		masks, _ := bank.WorldMasksWindow(pool, upg, n, lo, hi, opts.Seed)
+		if err := pool.Err(); err != nil {
+			return nil, err
+		}
+		est.setWindow(masks, hi-lo)
+		for c := 0; c < nc; c++ {
+			if err := pool.Err(); err != nil {
+				return nil, err
+			}
+			closure := closFlat[closOff[c]:closOff[c+1]]
+			edges = appendTriangleEdges(edges[:0], cand.ti, closure)
+			h := graph.FromSortedEdges(pg.NumVertices(), edges)
+			m := est.seedCandidate(h, edges, cand.ti, k)
+			if lo == 0 {
+				for i := 0; i < m; i++ {
+					cntFlat = append(cntFlat, 0)
+				}
+				cntOff = append(cntOff, cntOff[c]+int32(m))
+			}
+			est.scanInto(cntFlat[cntOff[c]:cntOff[c+1]])
+		}
+	}
+	if err := pool.Err(); err != nil {
+		return nil, err
+	}
+	for c := 0; c < nc; c++ {
+		minProb, ok := est.tailVerdict(cntFlat[cntOff[c]:cntOff[c+1]])
 		if !ok {
 			continue
 		}
-		out = append(out, buildProbNucleus(cand.ti, closure, k, theta, minProb))
-	}
-	// The last candidate may have been estimated against a half-filled world
-	// batch; one final check keeps cancelled calls from returning it.
-	if err := pool.Err(); err != nil {
-		return nil, err
+		out = append(out, buildProbNucleus(cand.ti, closFlat[closOff[c]:closOff[c+1]], k, theta, minProb))
 	}
 	sortNuclei(out)
 	return out, nil
@@ -466,52 +561,126 @@ func (d *triSetDedup) insert(ids []int32) bool {
 }
 
 // globalEstimator holds the per-candidate Monte-Carlo validation state of
-// Algorithm 2: the shared world-mask bank, one WorldChecker and count slice
-// per pool worker, the candidate's world-check seed and vertex list, the
-// scratch behind the candidate's index view, and the min-tail reduction
-// scratch. All of it is reused across candidates, so validating one more
-// candidate allocates nothing at steady state.
+// Algorithm 2: the current window of the shared world-mask bank, the shared
+// per-world triangle-aliveness bank over the candidate union's view, one
+// WorldChecker and count slice per pool worker, the candidate's world-check
+// seed and vertex list, the scratch behind the candidate's index view, and
+// the min-tail reduction scratch. All of it is reused across candidates, so
+// validating one more candidate allocates nothing at steady state.
+//
+// The aliveness bank (useAlive) is the shared-scan optimization: each
+// world's per-union-triangle aliveness — its three edges present — is
+// computed once per world when the window is bound, and every candidate
+// scanned against that world reads one aliveness bit per triangle and three
+// per 4-clique completion instead of re-testing edge bits (candidates
+// overlap heavily, so the same triangles were re-scanned per candidate).
+// The accumulated per-triangle alive-world counts also bound any candidate
+// triangle's qualifying count from above, which is what the θ-prune (prune)
+// uses to fail a candidate before scanning a single world: a triangle alive
+// in fewer than `need` worlds cannot qualify in enough. Both knobs default
+// on and never change a verdict — aliveness tests are equivalent to the edge
+// tests, and the prune only fails candidates the scan would fail.
 type globalEstimator struct {
-	pool     *par.Pool
-	union    []graph.Edge
-	masks    []uint64
-	words    int
-	n        int
+	pool  *par.Pool
+	union []graph.Edge
+	words int
+	n     int // total sampled worlds (across all windows)
+	theta float64
+	need  int32 // smallest count c with c/n ≥ θ
+	// Current window: masks holds winWorlds consecutive worlds of the bank,
+	// one row per world (the whole bank on the full-bank path).
+	masks     []uint64
+	winWorlds int
+
 	checkers []decomp.WorldChecker
 	counts   [][]int32
 	verts    []int32
 	sub      graph.SubIndexScratch
 	seed     decomp.WorldCheckSeed
+
+	// Shared aliveness state: the union view's triangle count and per-
+	// triangle union edge ids, the per-world aliveness rows for the current
+	// window, and the alive-world totals accumulated across windows.
+	useAlive bool
+	prune    bool
+	uT       int
+	usub     graph.SubIndexScratch
+	uSubIDs  []int32
+	utriEdge []int32
+	aw       int // aliveness words per world
+	alive    []uint64
+	aliveCnt []int32
+	aliveW   [][]int32
+
 	// Min-tail reduction scratch: per-range minimum, first failing triangle
 	// id (-1 when the range passes), and its estimate.
 	partMin []float64
 	failIdx []int32
 	failP   []float64
-	// Per-call parameters consumed by the hoisted pool closures (one closure
-	// per estimator, not one per candidate — keeping the per-candidate
-	// steady state allocation-free).
-	theta   float64
+	// Per-candidate parameters consumed by the hoisted pool closures (one
+	// closure per estimator, not one per candidate — keeping the
+	// per-candidate steady state allocation-free).
 	m       int
 	worldFn func(worker, i int)
+	aliveFn func(worker, i int)
 	tailFn  func(worker, r int)
 }
 
-func newGlobalEstimator(pool *par.Pool, union []graph.Edge, masks []uint64, words, n int) *globalEstimator {
+func newGlobalEstimator(pool *par.Pool, parent *graph.TriangleIndex, nv int, union []graph.Edge, n int, theta float64) *globalEstimator {
 	w := pool.Workers()
 	ge := &globalEstimator{
 		pool:     pool,
 		union:    union,
-		masks:    masks,
-		words:    words,
+		words:    (len(union) + 63) / 64,
 		n:        n,
+		theta:    theta,
+		need:     thetaNeed(theta, n),
+		useAlive: true,
+		prune:    true,
 		checkers: make([]decomp.WorldChecker, w),
 		counts:   make([][]int32, w),
+		aliveW:   make([][]int32, w),
 		partMin:  make([]float64, w),
 		failIdx:  make([]int32, w),
 		failP:    make([]float64, w),
 	}
+	// The union view: every triangle the union's edges span, with dense ids
+	// the aliveness bank is indexed by. Candidate views restrict the same
+	// parent, so their triangles all appear here (BindAliveness translates
+	// candidate view ids through the parent into this id space).
+	uview := parent.SubIndex(graph.FromSortedEdges(nv, union), &ge.usub)
+	ge.uT = uview.Len()
+	ge.uSubIDs = ge.usub.SubIDs()
+	ge.aw = (ge.uT + 63) / 64
+	ge.utriEdge = make([]int32, 3*ge.uT)
+	for u := 0; u < ge.uT; u++ {
+		tri := uview.Tris[u]
+		ge.utriEdge[3*u] = unionEdgeIndex(union, tri.A, tri.B)
+		ge.utriEdge[3*u+1] = unionEdgeIndex(union, tri.A, tri.C)
+		ge.utriEdge[3*u+2] = unionEdgeIndex(union, tri.B, tri.C)
+	}
+	ge.aliveCnt = make([]int32, ge.uT)
+	ge.aliveFn = func(worker, i int) {
+		row := ge.alive[i*ge.aw : (i+1)*ge.aw]
+		clear(row)
+		mask := ge.masks[i*ge.words : (i+1)*ge.words]
+		cnt := ge.aliveW[worker]
+		for u, b := 0, 0; u < ge.uT; u, b = u+1, b+3 {
+			if maskBitSet(mask, ge.utriEdge[b]) && maskBitSet(mask, ge.utriEdge[b+1]) && maskBitSet(mask, ge.utriEdge[b+2]) {
+				row[u>>6] |= 1 << (uint(u) & 63)
+				cnt[u]++
+			}
+		}
+	}
 	ge.worldFn = func(worker, i int) {
-		ids, ok := ge.checkers[worker].MaskQualifying(&ge.seed, ge.masks[i*ge.words:(i+1)*ge.words])
+		var ids []int32
+		var ok bool
+		if ge.useAlive {
+			ids, ok = ge.checkers[worker].MaskQualifyingAlive(&ge.seed,
+				ge.masks[i*ge.words:(i+1)*ge.words], ge.alive[i*ge.aw:(i+1)*ge.aw])
+		} else {
+			ids, ok = ge.checkers[worker].MaskQualifying(&ge.seed, ge.masks[i*ge.words:(i+1)*ge.words])
+		}
 		if !ok {
 			return
 		}
@@ -539,28 +708,150 @@ func newGlobalEstimator(pool *par.Pool, union []graph.Edge, masks []uint64, word
 	return ge
 }
 
-// estimate evaluates the candidate h against the shared world-mask bank and
+// setWindow binds the estimator to the next window of the shared bank —
+// masks holds `worlds` consecutive world rows — and, when the aliveness
+// fast path is on, computes each window world's union-triangle aliveness
+// row once (shared by every candidate scanned against the window) while
+// accumulating the per-triangle alive-world totals the θ-prune reads. The
+// per-worker count slices are summed in worker order, so the totals are the
+// exact integers a serial fill would produce.
+func (ge *globalEstimator) setWindow(masks []uint64, worlds int) {
+	ge.masks, ge.winWorlds = masks, worlds
+	if !ge.useAlive {
+		return
+	}
+	if total := worlds * ge.aw; cap(ge.alive) < total {
+		ge.alive = make([]uint64, total)
+	}
+	ge.alive = ge.alive[:worlds*ge.aw]
+	for w := range ge.aliveW {
+		ge.aliveW[w] = resizeCleared(ge.aliveW[w], ge.uT)
+	}
+	ge.pool.ForWorker(worlds, ge.aliveFn)
+	for _, cw := range ge.aliveW {
+		for u, c := range cw {
+			ge.aliveCnt[u] += c
+		}
+	}
+}
+
+// seedCandidate binds the estimator to candidate h: restrict the parent
+// index (no re-enumeration), pin the union edge ids of the candidate's
+// triangles and cliques, bind the aliveness translation, and clear the
+// per-worker counts. Returns the candidate view's triangle count.
+func (ge *globalEstimator) seedCandidate(h *graph.Graph, edges []graph.Edge, parent *graph.TriangleIndex, k int) int {
+	hti := parent.SubIndex(h, &ge.sub)
+	m := hti.Len()
+	ge.verts = appendPositiveDegree(ge.verts[:0], h)
+	ge.seed.Seed(hti, edges, ge.union, ge.verts, k)
+	if ge.useAlive {
+		ge.seed.BindAliveness(ge.sub.ParentIDs(), ge.uSubIDs)
+	}
+	for w := range ge.counts {
+		ge.counts[w] = resizeCleared(ge.counts[w], m)
+	}
+	ge.m = m
+	return m
+}
+
+// estimate evaluates the candidate h against the full shared world bank and
 // estimates Pr(X_{H,△,g} ≥ k) for every triangle of h; it reports the
-// minimum estimate and whether all triangles pass θ. h's triangles come
-// from restricting the parent index (no re-enumeration); the candidate's
-// seed then pins their union edge ids once, and every shared world — a
+// minimum estimate and whether all triangles pass θ. Every shared world — a
 // world of the candidate union, of which h is a subgraph — is evaluated by
 // per-worker checkers with O(1) bit tests, connectivity walked over h's own
 // adjacency so union edges outside the candidate never connect it. Each
 // worker counts into its own per-triangle slice and the counts are summed
 // afterwards, so the estimates are exactly the serial ones for every worker
-// count.
-func (ge *globalEstimator) estimate(h *graph.Graph, edges []graph.Edge, parent *graph.TriangleIndex, k int, theta float64) (float64, bool) {
-	hti := parent.SubIndex(h, &ge.sub)
-	m := hti.Len()
-	ge.verts = appendPositiveDegree(ge.verts[:0], h)
-	ge.seed.Seed(hti, edges, ge.union, ge.verts, k)
-	for w := range ge.counts {
-		ge.counts[w] = resizeCleared(ge.counts[w], m)
+// count. With the prune on, a candidate with a triangle alive in fewer than
+// `need` worlds fails without scanning — its qualifying count is bounded by
+// its alive count, so the scan could only confirm the failure (the failing
+// estimate reported alongside ok=false is not meaningful in that case;
+// callers discard it).
+func (ge *globalEstimator) estimate(h *graph.Graph, edges []graph.Edge, parent *graph.TriangleIndex, k int) (float64, bool) {
+	m := ge.seedCandidate(h, edges, parent, k)
+	if ge.useAlive && ge.prune {
+		for t := 0; t < m; t++ {
+			if ge.aliveCnt[ge.seed.AliveUID(t)] < ge.need {
+				return 0, false
+			}
+		}
 	}
-	ge.theta, ge.m = theta, m
-	ge.pool.ForWorker(ge.n, ge.worldFn)
-	return ge.minTail(m, theta)
+	ge.pool.ForWorker(ge.winWorlds, ge.worldFn)
+	return ge.minTail(m, ge.theta)
+}
+
+// scanInto runs the current window's worlds against the candidate most
+// recently bound with seedCandidate and adds each triangle's qualifying-
+// world count to totals, summing the per-worker counts in worker order —
+// integer sums, so totals accumulated over any window cut equal the
+// full-bank counts exactly.
+func (ge *globalEstimator) scanInto(totals []int32) {
+	ge.pool.ForWorker(ge.winWorlds, ge.worldFn)
+	for _, cw := range ge.counts {
+		for j, c := range cw {
+			totals[j] += c
+		}
+	}
+}
+
+// tailVerdict is the serial min-tail over fully accumulated per-triangle
+// totals: the same ascending scan with early exit as minTail's serial path,
+// so the windowed pipeline reports byte-identical (estimate, ok) verdicts.
+func (ge *globalEstimator) tailVerdict(totals []int32) (float64, bool) {
+	minProb := 1.0
+	for _, c := range totals {
+		p := float64(c) / float64(ge.n)
+		if p < minProb {
+			minProb = p
+		}
+		if p < ge.theta {
+			return p, false
+		}
+	}
+	return minProb, true
+}
+
+// thetaNeed returns the smallest qualifying-world count c whose estimate
+// c/n clears θ — the prune threshold: a triangle alive in fewer worlds can
+// never reach it. Computed by float comparison on the exact quotients the
+// estimates use, so the prune agrees with the scan bit-for-bit.
+func thetaNeed(theta float64, n int) int32 {
+	c := int(math.Ceil(theta * float64(n)))
+	if c > n {
+		c = n
+	}
+	for c > 0 && float64(c-1)/float64(n) >= theta {
+		c--
+	}
+	for c <= n && float64(c)/float64(n) < theta {
+		c++
+	}
+	return int32(c)
+}
+
+// maskBitSet reports whether edge id e is set in a world mask row.
+func maskBitSet(mask []uint64, e int32) bool {
+	return mask[e>>6]&(1<<(uint(e)&63)) != 0
+}
+
+// unionEdgeIndex locates the canonical edge (u,v), u < v, in the sorted
+// union edge list (it must be present: union-view triangles span union
+// edges by construction).
+func unionEdgeIndex(edges []graph.Edge, u, v int32) int32 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := edges[mid]
+		if e.U < u || (e.U == u && e.V < v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(edges) || edges[lo].U != u || edges[lo].V != v {
+		panic("core: union triangle edge missing from union edge list")
+	}
+	return int32(lo)
 }
 
 // minTailParallelCutoff is the minimum number of candidate triangles for

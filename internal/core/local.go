@@ -200,10 +200,10 @@ func localDecompose(pre *Prepared, theta float64, opts Options) (*LocalResult, e
 	//
 	// In AP mode the Sec. 5.3 method selection reads the Dist's maintained
 	// µ/σ²/max-p aggregates (amortized O(1), bit-compatible with rescanning
-	// the live factors), and the DP fallback answers from the incrementally-
-	// maintained pmf instead of re-running the from-scratch dynamic program
-	// — so an AP re-score only packs the live factor slice when a closed-
-	// form approximation actually consumes it.
+	// the live factors), the closed-form tails evaluate from those same
+	// aggregates (Dist.MaxKClosed — no per-query pack of the live factor
+	// slice), and the DP fallback answers from the incrementally-maintained
+	// pmf instead of re-running the from-scratch dynamic program.
 	score := func(t int32, sc *scoreScratch) (int, pbd.Method) {
 		thr := theta / triProb[t]
 		if opts.Mode == ModeAP {
@@ -211,9 +211,7 @@ func localDecompose(pre *Prepared, theta float64, opts Options) (*LocalResult, e
 			if m == pbd.MethodDP {
 				return dists[t].MaxK(thr), pbd.MethodDP
 			}
-			probs := dists[t].AppendAlive(sc.probs[:0])
-			sc.probs = probs
-			return pbd.MaxKWithScratch(probs, thr, m, &sc.dp), m
+			return dists[t].MaxKClosed(thr, m), m
 		}
 		return dists[t].MaxK(thr), pbd.MethodDP
 	}

@@ -73,19 +73,26 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		return nil, nil
 	}
 	n := opts.sampleCount()
+	window := opts.Window
+	if window <= 0 || window > n {
+		window = n
+	}
 	workers := pool.Workers()
 
 	// One shared world stream over the union of all candidate edges (every
 	// candidate is a subgraph of it), sampled as one flat bank of edge
-	// bitmasks.
+	// bitmasks — in one window by default, or streamed through fixed-size
+	// windows when opts.Window bounds the bank's peak memory. Each window's
+	// per-triangle loss counts are accumulated into persistent per-candidate
+	// totals; the totals are sums of the same integers the one-window run
+	// sums, so the scores — and the assembled nuclei — are byte-identical at
+	// every window size.
 	union := unionEdges(cands)
-	masks, words := opts.worldBank().WorldMasks(pool, pg.SubgraphOfEdges(union), n, opts.Seed)
-	if err := pool.Err(); err != nil {
-		return nil, err
-	}
+	upg := pg.SubgraphOfEdges(union)
+	bank := opts.worldBank()
 
 	var out []ProbNucleus
-	// losses[w][t]: number of shared worlds in which candidate triangle t
+	// losses[w][t]: number of window worlds in which candidate triangle t
 	// fell out of the candidate's level-k core, accumulated by worker w. The
 	// merge is a commutative sum, so the totals match the serial run for
 	// every worker count. The slices are reused and cleared between
@@ -95,50 +102,80 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 	var seed decomp.WorldPeelSeed
 	var sub graph.SubIndexScratch
 	var qual []float64
-	// One closure for the whole candidate loop, not one per candidate.
+	var masks []uint64
+	var words int
+	// One closure for the whole run, not one per candidate or window.
 	worldFn := func(worker, i int) {
 		cnt := losses[worker]
 		for _, id := range scorers[worker].NonQualifyingMask(&seed, masks[i*words:(i+1)*words]) {
 			cnt[id]++
 		}
 	}
-	for _, cand := range cands {
+	// lostFlat[lostOff[c]:lostOff[c+1]]: candidate c's per-triangle loss
+	// totals, accumulated across windows (laid out on the first window).
+	lostOff := make([]int32, 1, len(cands)+1)
+	var lostFlat []int32
+	for lo := 0; lo < n; lo += window {
+		hi := lo + window
+		if hi > n {
+			hi = n
+		}
+		masks, words = bank.WorldMasksWindow(pool, upg, n, lo, hi, opts.Seed)
 		if err := pool.Err(); err != nil {
 			return nil, err
 		}
-		h := graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
-		hti := local.TI.SubIndex(h, &sub)
-		m := hti.Len()
-		if opts.Obs != nil {
-			opts.Obs.Candidate(m)
-		}
-		seed.Seed(hti, cand.Edges, k)
-		seed.MapUnion(union)
-		for w := range losses {
-			losses[w] = resizeCleared(losses[w], m)
-		}
-		pool.ForWorker(n, worldFn)
-		// Qualifying triangles of the candidate: qual[t] holds the estimated
-		// probability for candidate-index id t, or -1 when below θ. Only the
-		// local nucleus's own triangles are scored (the candidate edge set
-		// may span extra triangles, which Algorithm 3 never considers), and a
-		// triangle outside the candidate's level-k core qualifies in no
-		// world, so its score is 0 without consulting the losses.
-		qual = resizeFilled(qual, m, -1)
-		for _, tri := range cand.Triangles {
-			id, ok := hti.ID(tri)
-			if !ok || !seed.InCore(id) {
-				continue // absent ids cannot happen: the candidate spans its own edges
+		for ci := range cands {
+			if err := pool.Err(); err != nil {
+				return nil, err
 			}
-			lost := int32(0)
+			cand := &cands[ci]
+			h := graph.FromSortedEdges(pg.NumVertices(), cand.Edges)
+			hti := local.TI.SubIndex(h, &sub)
+			m := hti.Len()
+			if lo == 0 {
+				if opts.Obs != nil {
+					opts.Obs.Candidate(m)
+				}
+				for i := 0; i < m; i++ {
+					lostFlat = append(lostFlat, 0)
+				}
+				lostOff = append(lostOff, lostOff[ci]+int32(m))
+			}
+			seed.Seed(hti, cand.Edges, k)
+			seed.MapUnion(union)
 			for w := range losses {
-				lost += losses[w][id]
+				losses[w] = resizeCleared(losses[w], m)
 			}
-			if p := float64(int32(n)-lost) / float64(n); p >= theta {
-				qual[id] = p
+			pool.ForWorker(hi-lo, worldFn)
+			tot := lostFlat[lostOff[ci]:lostOff[ci+1]]
+			for w := range losses {
+				for j, c := range losses[w] {
+					tot[j] += c
+				}
 			}
+			if hi < n {
+				continue
+			}
+			// Last window: the totals are complete, and the candidate's view
+			// and peel seed are live — score and assemble now. qual[t] holds
+			// the estimated probability for candidate-index id t, or -1 when
+			// below θ. Only the local nucleus's own triangles are scored (the
+			// candidate edge set may span extra triangles, which Algorithm 3
+			// never considers), and a triangle outside the candidate's level-k
+			// core qualifies in no world, so its score is 0 without consulting
+			// the losses.
+			qual = resizeFilled(qual, m, -1)
+			for _, tri := range cand.Triangles {
+				id, ok := hti.ID(tri)
+				if !ok || !seed.InCore(id) {
+					continue // absent ids cannot happen: the candidate spans its own edges
+				}
+				if p := float64(int32(n)-tot[id]) / float64(n); p >= theta {
+					qual[id] = p
+				}
+			}
+			out = append(out, assembleWeakNuclei(hti, qual, k, theta)...)
 		}
-		out = append(out, assembleWeakNuclei(hti, qual, k, theta)...)
 	}
 	// The last candidate may have been scored against a half-filled world
 	// batch; one final check keeps cancelled calls from returning it.

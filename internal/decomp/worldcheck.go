@@ -175,6 +175,12 @@ type WorldCheckSeed struct {
 	adjVert []int32
 	adjBit  []int32
 	nv      int // vertex-space bound of the adjacency (max vertex id + 1)
+	// Aliveness fast path, filled by BindAliveness: triUID[t] is view
+	// triangle t's id in the shared union view the per-world aliveness
+	// bitmasks are computed over, and compOtherUID[3s..3s+2] the union-view
+	// ids of completion slot s's other three triangles. Empty until bound.
+	triUID       []int32
+	compOtherUID []int32
 	// Fill-cursor scratch reused across Seed calls.
 	cursor []int32
 }
@@ -187,6 +193,9 @@ type WorldCheckSeed struct {
 func (s *WorldCheckSeed) Seed(view *graph.TriangleIndex, edges, union []graph.Edge, verts []int32, k int) {
 	m := view.Len()
 	s.k, s.m, s.verts = k, m, verts
+	// A previous candidate's aliveness binding is meaningless for this one;
+	// drop it until BindAliveness is called again.
+	s.triUID, s.compOtherUID = s.triUID[:0], s.compOtherUID[:0]
 	if cap(s.triEdge) < 3*m {
 		s.triEdge = make([]int32, 3*m)
 	}
@@ -262,6 +271,114 @@ func (s *WorldCheckSeed) Seed(view *graph.TriangleIndex, edges, union []graph.Ed
 		cursor[e.U]++
 		cursor[e.V]++
 	}
+}
+
+// BindAliveness binds the seed to a shared per-world triangle-aliveness
+// bank computed over a union view of the parent index: parentIDs maps the
+// candidate view's dense ids to parent ids (graph.SubIndexScratch.ParentIDs
+// of the candidate view), and unionSubIDs maps parent ids to union-view ids
+// (graph.SubIndexScratch.SubIDs of the union view). Every candidate triangle
+// — and every other triangle of its surviving 4-cliques — lies in the union
+// view by construction, since candidates are edge-subgraphs of the union the
+// aliveness bank is computed over; BindAliveness panics if not.
+//
+// After binding, MaskQualifyingAlive can test a triangle's aliveness in a
+// world with one bit load into the world's shared aliveness row instead of
+// three edge-bit tests, and a 4-clique's aliveness with three (the clique is
+// alive iff all four member triangles are — their edge sets union to the
+// clique's six edges — and the scanned member is alive already). Call after
+// Seed; Seed drops any previous binding.
+func (s *WorldCheckSeed) BindAliveness(parentIDs, unionSubIDs []int32) {
+	if cap(s.triUID) < s.m {
+		s.triUID = make([]int32, s.m)
+	}
+	s.triUID = s.triUID[:s.m]
+	for t := 0; t < s.m; t++ {
+		uid := unionSubIDs[parentIDs[t]]
+		if uid < 0 {
+			panic("decomp: candidate triangle missing from union aliveness view")
+		}
+		s.triUID[t] = uid
+	}
+	total := len(s.compOther)
+	if cap(s.compOtherUID) < total {
+		s.compOtherUID = make([]int32, total)
+	}
+	s.compOtherUID = s.compOtherUID[:total]
+	for i, o := range s.compOther {
+		s.compOtherUID[i] = s.triUID[o]
+	}
+}
+
+// AliveUID returns candidate view triangle t's id in the shared union
+// aliveness view bound by BindAliveness — the index of its bit in each
+// world's aliveness row and of its slot in any per-union-triangle
+// alive-count accumulator.
+func (s *WorldCheckSeed) AliveUID(t int) int32 { return s.triUID[t] }
+
+// MaskQualifyingAlive is MaskQualifying with the per-triangle edge tests
+// replaced by lookups into a shared per-world aliveness row: alive must have
+// bit u set iff union-view triangle u's three edges are all present in the
+// world mask (the caller computes one such row per world, shared by every
+// candidate scanned against that world). The predicate decisions and the
+// returned qualifying-id set are identical to MaskQualifying's — triangle
+// survival reads one aliveness bit instead of three edge bits, and 4-clique
+// survival three member-aliveness bits instead of three z-edge bits (see
+// BindAliveness for why those are equivalent). Connectivity still walks the
+// candidate adjacency over the world mask itself. The seed must have been
+// bound with BindAliveness since its last Seed call.
+func (wc *WorldChecker) MaskQualifyingAlive(seed *WorldCheckSeed, mask, alive []uint64) ([]int32, bool) {
+	if !wc.maskConnected(seed, mask) {
+		return nil, false
+	}
+	out := wc.out[:0]
+	for t := 0; t < seed.m; t++ {
+		if maskHas(alive, seed.triUID[t]) {
+			out = append(out, int32(t))
+		}
+	}
+	wc.out = out
+	if seed.k == 0 {
+		// Connectivity is the whole predicate (Lemma 2); the scan above only
+		// supplies the triangle list for counting.
+		return out, true
+	}
+	if len(out) == 0 {
+		// No triangles at all: there is nothing whose support can reach
+		// k ≥ 1, and a k-nucleus must contain triangles.
+		return nil, false
+	}
+	for _, t := range out {
+		cnt := 0
+		for j := seed.compOff[t]; j < seed.compOff[t+1]; j++ {
+			b := 3 * j
+			if maskHas(alive, seed.compOtherUID[b]) && maskHas(alive, seed.compOtherUID[b+1]) && maskHas(alive, seed.compOtherUID[b+2]) {
+				cnt++
+			}
+		}
+		if cnt < seed.k {
+			return nil, false
+		}
+	}
+	// Triangle 4-clique-connectivity over the surviving triangles.
+	wc.u.Reset(seed.m)
+	for _, t := range out {
+		for j := seed.compOff[t]; j < seed.compOff[t+1]; j++ {
+			b := 3 * j
+			if maskHas(alive, seed.compOtherUID[b]) && maskHas(alive, seed.compOtherUID[b+1]) && maskHas(alive, seed.compOtherUID[b+2]) {
+				wc.u.Union(t, seed.compOther[b])
+				wc.u.Union(t, seed.compOther[b+1])
+				wc.u.Union(t, seed.compOther[b+2])
+			}
+		}
+	}
+	root := wc.u.Find(out[0])
+	for _, t := range out[1:] {
+		if wc.u.Find(t) != root {
+			return nil, false
+		}
+	}
+	return out, true
 }
 
 // MaskQualifying is QualifyingTriangles over a shared union-world bitmask:

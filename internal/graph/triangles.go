@@ -220,12 +220,100 @@ func NewTriangleIndexParallel(g *Graph, workers int) *TriangleIndex {
 	return NewTriangleIndexPool(g, pool)
 }
 
+// arenaRun locates one item's output inside a per-worker arena: the run of
+// n elements that worker appended starting at off. Recording runs instead of
+// slices keeps the records valid across arena growth (offsets survive a
+// reallocating append; slice headers would not).
+type arenaRun struct {
+	worker int32
+	off    int32
+	n      int32
+}
+
 // NewTriangleIndexPool is NewTriangleIndexParallel on a caller-owned worker
-// pool: the five parallel passes (forward-adjacency count/fill, rooted
-// enumeration, completion count/fill) all reuse the pool's parked helpers
+// pool: the parallel passes (forward-adjacency count/fill, fused rooted
+// enumeration, fused completion fill) all reuse the pool's parked helpers
 // instead of spawning goroutines per pass, which matters for servers
 // building many indices on a shared pool.
+//
+// Both variable-length stages — triangle enumeration and 4-clique completion
+// lists — run as a single pass each: every worker appends into its own arena
+// and records an (worker, off, len) run per vertex/triangle, and a serial
+// stitch copies the runs out in ascending vertex (resp. triangle-id) order.
+// That replaces the old per-vertex slice allocations and the old
+// count-then-fill completion layout, which intersected every triangle's
+// neighbourhoods twice. Because the stitch order is fixed, the resulting
+// index (triangle ids, Tris order, Comps contents) is byte-identical to the
+// two-pass builder for every worker count and chunk schedule.
 func NewTriangleIndexPool(g *Graph, pool *par.Pool) *TriangleIndex {
+	n := g.NumVertices()
+	fwd := g.forwardAdjacency(pool)
+	nw := pool.Workers()
+	arenas := make([][]Triangle, nw)
+	runs := make([]arenaRun, n)
+	scratch := make([][]int32, nw)
+	// One hoisted emit closure per worker, not per vertex: the enumeration
+	// body itself must not allocate.
+	emit := make([]func(Triangle), nw)
+	for w := range emit {
+		w := w
+		emit[w] = func(t Triangle) { arenas[w] = append(arenas[w], t) }
+	}
+	pool.ForWorker(n, func(w, vi int) {
+		off := len(arenas[w])
+		scratch[w] = trianglesRootedAt(fwd, int32(vi), scratch[w], emit[w])
+		runs[vi] = arenaRun{int32(w), int32(off), int32(len(arenas[w]) - off)}
+	})
+	total := 0
+	for vi := range runs {
+		total += int(runs[vi].n)
+	}
+	ti := &TriangleIndex{
+		Tris: make([]Triangle, 0, total),
+		ids:  make(map[Triangle]int32, total),
+	}
+	for vi := range runs {
+		r := runs[vi]
+		for _, t := range arenas[r.worker][r.off : r.off+r.n] {
+			ti.ids[t] = int32(len(ti.Tris))
+			ti.Tris = append(ti.Tris, t)
+		}
+	}
+	// Completion lists, fused: one intersection per triangle into the
+	// worker's arena, then a prefix sum over the recorded run lengths places
+	// each list in the flat CSR backing and the stitch copies runs over in id
+	// order. The two-pass layout ran Intersect3SortedLen and then
+	// Intersect3SortedInto — the same three-way merge twice per triangle.
+	m := len(ti.Tris)
+	ti.Comps = make([][]int32, m)
+	compArenas := make([][]int32, nw)
+	compRuns := make([]arenaRun, m)
+	pool.ForWorker(m, func(w, i int) {
+		t := ti.Tris[i]
+		off := len(compArenas[w])
+		compArenas[w] = Intersect3SortedInto(compArenas[w], g.Neighbors(t.A), g.Neighbors(t.B), g.Neighbors(t.C))
+		compRuns[i] = arenaRun{int32(w), int32(off), int32(len(compArenas[w]) - off)}
+	})
+	counts := make([]int, m+1)
+	for i := 0; i < m; i++ {
+		counts[i+1] = counts[i] + int(compRuns[i].n)
+	}
+	flat := make([]int32, counts[m])
+	pool.For(m, func(i int) {
+		r := compRuns[i]
+		dst := flat[counts[i]:counts[i+1]:counts[i+1]]
+		copy(dst, compArenas[r.worker][r.off:r.off+r.n])
+		ti.Comps[i] = dst
+	})
+	return ti
+}
+
+// newTriangleIndexTwoPass is the pre-fusion builder — per-vertex triangle
+// slices merged serially, and CSR completion lists laid out by a counting
+// pass plus a fill pass that re-runs each intersection. It is kept as the
+// differential oracle for the fused NewTriangleIndexPool: both must produce
+// byte-identical indices on every graph and worker count.
+func newTriangleIndexTwoPass(g *Graph, pool *par.Pool) *TriangleIndex {
 	n := g.NumVertices()
 	fwd := g.forwardAdjacency(pool)
 	perVertex := make([][]Triangle, n)
@@ -249,10 +337,6 @@ func NewTriangleIndexPool(g *Graph, pool *par.Pool) *TriangleIndex {
 			ti.Tris = append(ti.Tris, t)
 		}
 	}
-	// Completion lists are laid out CSR-style in one flat backing array:
-	// a counting pass sizes every list, a prefix sum places it, and a fill
-	// pass re-runs the intersection directly into its slot — two cheap merge
-	// scans instead of one allocation per triangle.
 	ti.Comps = make([][]int32, len(ti.Tris))
 	counts := make([]int, len(ti.Tris)+1)
 	pool.For(len(ti.Tris), func(i int) {
@@ -308,6 +392,15 @@ type SubIndexScratch struct {
 // parent id of each view triangle (aligned with the view's dense ids). The
 // slice is valid until the next SubIndex call on the scratch.
 func (scr *SubIndexScratch) ParentIDs() []int32 { return scr.pids }
+
+// SubIDs returns the inverse translation of ParentIDs for the view most
+// recently built with this scratch: indexed by parent triangle id, the view
+// id of that triangle, or -1 if the triangle is absent from the view. The
+// slice is valid until the next SubIndex call on the scratch. Callers that
+// relate several views of the same parent (e.g. mapping a candidate view's
+// triangles into a union view's id space) use this to translate without a
+// per-triangle hash lookup.
+func (scr *SubIndexScratch) SubIDs() []int32 { return scr.subID }
 
 // SubIndex returns the restriction of ti to the edge set of g: the triangles
 // of ti whose three edges all exist in g, with dense view ids assigned in

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"probnucleus/internal/par"
 )
 
 var diffWorkerCounts = []int{1, 2, 8}
@@ -65,6 +67,64 @@ func TestTriangleIndexParallelEmptyAndTiny(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestTriangleIndexFusedMatchesTwoPass: the fused single-pass builder
+// (per-worker arenas + run records + id-order stitch, one intersection per
+// triangle) produces an index byte-identical to the retired two-pass builder
+// (per-vertex slices, count-then-fill completion layout) on every graph shape
+// and worker count — including degenerate inputs where chunking is uneven.
+func TestTriangleIndexFusedMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	graphs := []*Graph{
+		NewBuilder(0).Build(),
+		FromEdges(3, []Edge{{0, 1}, {1, 2}}),
+		FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+	}
+	for iter := 0; iter < 6; iter++ {
+		graphs = append(graphs, randomTestGraph(rng, 40, 0.25))
+	}
+	for gi, g := range graphs {
+		for _, w := range diffWorkerCounts {
+			pool := par.NewPool(w)
+			want := newTriangleIndexTwoPass(g, pool)
+			got := NewTriangleIndexPool(g, pool)
+			pool.Close()
+			if !reflect.DeepEqual(got.Tris, want.Tris) {
+				t.Fatalf("graph %d workers=%d: fused triangle order differs", gi, w)
+			}
+			if !reflect.DeepEqual(got.Comps, want.Comps) {
+				t.Fatalf("graph %d workers=%d: fused completion lists differ", gi, w)
+			}
+			for i, tri := range want.Tris {
+				id, ok := got.ID(tri)
+				if !ok || id != int32(i) {
+					t.Fatalf("graph %d workers=%d: id of %v = (%d,%v), want (%d,true)",
+						gi, w, tri, id, ok, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTriangleIndexFusedAllocsBelowTwoPass is the memory gate of the fused
+// builder: enumerating once into per-worker arenas must allocate strictly
+// fewer times than the retired count-then-fill two-pass scheme on the same
+// graph and pool — the fusion exists to delete the second pass's per-vertex
+// recounting and its interleaved growth, so a regression here means the
+// arenas stopped amortizing.
+func TestTriangleIndexFusedAllocsBelowTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := randomTestGraph(rng, 80, 0.2)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	fused := testing.AllocsPerRun(5, func() { NewTriangleIndexPool(g, pool) })
+	twoPass := testing.AllocsPerRun(5, func() { newTriangleIndexTwoPass(g, pool) })
+	if fused >= twoPass {
+		t.Fatalf("fused builder allocates %.0f times, two-pass %.0f; fusion must allocate less",
+			fused, twoPass)
+	}
+	t.Logf("allocs per build: fused %.0f, two-pass %.0f", fused, twoPass)
 }
 
 // TestFourCliquesParallelMatchesSerial: clique enumeration is identical for

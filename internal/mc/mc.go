@@ -154,7 +154,10 @@ func WorldMasksPool(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (mas
 // allocates nothing; engine shards own one Bank each for exactly that.
 //
 // A Bank serves one call at a time, and the masks it returns alias its
-// backing: they are valid until the next WorldMasks call.
+// backing: they are valid until the next WorldMasks or WorldMasksWindow call
+// on the same Bank. WorldMasksWindow streams the identical bank through a
+// bounded window — see its documentation for the PRNG stream-equivalence
+// contract.
 type Bank struct {
 	// Tap, when non-nil, is invoked once at the end of every WorldMasks call
 	// with the drawn world count and the mask words per world — the engine's
@@ -167,22 +170,53 @@ type Bank struct {
 	fill func(worker, c int)
 	// Per-call parameters read by the hoisted fill closure (one closure per
 	// Bank, not one per call, keeping the steady state allocation-free).
-	edges []probgraph.ProbEdge
-	masks []uint64
-	words int
-	n     int
-	seed  int64
+	edges  []probgraph.ProbEdge
+	masks  []uint64
+	words  int
+	n      int
+	seed   int64
+	winLo  int
+	winHi  int
+	chunk0 int
 }
 
 // WorldMasks is WorldMasksPool drawing into the Bank's reusable backing; see
 // the Bank documentation for the reuse and aliasing contract.
 func (b *Bank) WorldMasks(pool *par.Pool, pg *probgraph.Graph, n int, seed int64) (masks []uint64, words int) {
+	return b.worldMasksRange(pool, pg, n, 0, n, seed)
+}
+
+// WorldMasksWindow draws the window [lo, hi) of the n-world bank that
+// WorldMasks(pool, pg, n, seed) would draw, into the Bank's reusable backing:
+// row (i-lo) of the returned masks is byte-identical to row i of the full
+// bank, for every pool size and every way of cutting [0, n) into windows. The
+// equivalence holds because world i's content is a function of its chunk seed
+// DeriveSeed(seed, i/WorldChunk) and its offset within the chunk alone: a
+// window that starts mid-chunk reseeds that chunk's PRNG and burns the draws
+// of the skipped leading worlds (one Float64 per edge each), then fills its
+// rows from the identical stream position the full bank would have reached.
+//
+// Peak backing memory is (hi-lo)×words mask words — the window, not the bank.
+// Streaming a huge world count through a fixed window therefore bounds peak
+// memory while reproducing the full bank mask-for-mask; callers accumulate
+// order-insensitive per-world reductions across windows. The aliasing
+// contract is WorldMasks's: the returned masks alias the Bank's backing and
+// are valid only until the next call on the same Bank — a caller must finish
+// reducing one window before drawing the next.
+func (b *Bank) WorldMasksWindow(pool *par.Pool, pg *probgraph.Graph, n, lo, hi int, seed int64) (masks []uint64, words int) {
+	if lo < 0 || hi > n || lo > hi {
+		panic("mc: WorldMasksWindow range out of [0, n]")
+	}
+	return b.worldMasksRange(pool, pg, n, lo, hi, seed)
+}
+
+func (b *Bank) worldMasksRange(pool *par.Pool, pg *probgraph.Graph, n, lo, hi int, seed int64) (masks []uint64, words int) {
 	edges := pg.Edges()
 	words = (len(edges) + 63) / 64
-	if n <= 0 {
+	if n <= 0 || hi <= lo {
 		return nil, words
 	}
-	if total := n * words; cap(b.buf) < total {
+	if total := (hi - lo) * words; cap(b.buf) < total {
 		b.buf = make([]uint64, total)
 	}
 	for len(b.rngs) < pool.Workers() {
@@ -193,16 +227,31 @@ func (b *Bank) WorldMasks(pool *par.Pool, pg *probgraph.Graph, n int, seed int64
 			// Reseeding in place replays the exact stream rand.New with the
 			// same source seed would produce, so chunk c's worlds remain a
 			// function of DeriveSeed(seed, c) alone — never of which worker
-			// (or Bank generation) draws them.
+			// (or Bank generation, or window cut) draws them.
+			ca := b.chunk0 + c
 			rng := b.rngs[worker]
-			rng.Seed(DeriveSeed(b.seed, c))
-			lo := c * WorldChunk
-			hi := lo + WorldChunk
-			if hi > b.n {
-				hi = b.n
+			rng.Seed(DeriveSeed(b.seed, ca))
+			clo := ca * WorldChunk
+			chi := clo + WorldChunk
+			if chi > b.n {
+				chi = b.n
 			}
-			for i := lo; i < hi; i++ {
-				m := b.masks[i*b.words : (i+1)*b.words]
+			if chi > b.winHi {
+				chi = b.winHi
+			}
+			// A window starting mid-chunk skips the chunk's leading worlds but
+			// must leave the PRNG where the full bank would: burn their draws.
+			for i := clo; i < b.winLo && i < chi; i++ {
+				for range b.edges {
+					rng.Float64()
+				}
+			}
+			if clo < b.winLo {
+				clo = b.winLo
+			}
+			for i := clo; i < chi; i++ {
+				row := i - b.winLo
+				m := b.masks[row*b.words : (row+1)*b.words]
 				clear(m) // the backing is reused; stale bits must not survive
 				for e := range b.edges {
 					if rng.Float64() < b.edges[e].P {
@@ -212,12 +261,14 @@ func (b *Bank) WorldMasks(pool *par.Pool, pg *probgraph.Graph, n int, seed int64
 			}
 		}
 	}
-	b.edges, b.masks, b.words, b.n, b.seed = edges, b.buf[:n*words], words, n, seed
-	pool.ForWorker((n+WorldChunk-1)/WorldChunk, b.fill)
+	b.edges, b.masks, b.words, b.n, b.seed = edges, b.buf[:(hi-lo)*words], words, n, seed
+	b.winLo, b.winHi, b.chunk0 = lo, hi, lo/WorldChunk
+	chunks := (hi+WorldChunk-1)/WorldChunk - b.chunk0
+	pool.ForWorker(chunks, b.fill)
 	masks = b.masks
 	b.edges, b.masks = nil, nil // don't pin the caller's graph between calls
 	if b.Tap != nil {
-		b.Tap(n, words)
+		b.Tap(hi-lo, words)
 	}
 	return masks, words
 }

@@ -211,6 +211,98 @@ func TestBankWorldMasksMatchesPool(t *testing.T) {
 	}
 }
 
+// TestBankWorldMasksWindowMatchesFullBank: streaming the bank through
+// windows of every size — aligned, unaligned, chunk-straddling, degenerate —
+// reproduces the full bank mask-for-mask, for every pool size. This is the
+// stream-equivalence half of the windowed contract: row (i-lo) of window
+// [lo, hi) equals row i of the full bank.
+func TestBankWorldMasksWindowMatchesFullBank(t *testing.T) {
+	pg := randomishProbGraph(24)
+	const n, seed = 150, int64(42) // multiple chunks plus a ragged tail
+	refPool := par.NewPool(1)
+	ref, words := WorldMasksPool(refPool, pg, n, seed)
+	refCopy := append([]uint64(nil), ref...)
+	refPool.Close()
+	for _, w := range diffWorkerCounts {
+		pool := par.NewPool(w)
+		var bank Bank
+		// Window sizes: single world, sub-chunk, chunk-aligned, unaligned
+		// prime, larger than a chunk, whole bank in one window.
+		for _, win := range []int{1, 7, 64, 41, 100, n} {
+			for lo := 0; lo < n; lo += win {
+				hi := lo + win
+				if hi > n {
+					hi = n
+				}
+				got, gw := bank.WorldMasksWindow(pool, pg, n, lo, hi, seed)
+				if gw != words {
+					t.Fatalf("pool=%d win=%d: words = %d, want %d", w, win, gw, words)
+				}
+				for i := lo; i < hi; i++ {
+					for j := 0; j < words; j++ {
+						if got[(i-lo)*words+j] != refCopy[i*words+j] {
+							t.Fatalf("pool=%d win=%d: world %d word %d differs from full bank",
+								w, win, i, j)
+						}
+					}
+				}
+			}
+		}
+		// An interleaved full-bank draw on the same Bank must stay identical
+		// after windowed calls (the per-call state fully resets).
+		full, _ := bank.WorldMasks(pool, pg, n, seed)
+		for j := range full {
+			if full[j] != refCopy[j] {
+				t.Fatalf("pool=%d: full bank after windowed draws differs at word %d", w, j)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestBankWorldMasksWindowBoundsMemory: streaming a large world count
+// through a fixed window must keep the Bank's backing at window×words mask
+// words — the peak-memory half of the windowed contract.
+func TestBankWorldMasksWindowBoundsMemory(t *testing.T) {
+	pg := randomishProbGraph(24)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	const n, win, seed = 4096, 32, int64(5)
+	var bank Bank
+	for lo := 0; lo < n; lo += win {
+		hi := lo + win
+		if hi > n {
+			hi = n
+		}
+		_, words := bank.WorldMasksWindow(pool, pg, n, lo, hi, seed)
+		if cap(bank.buf) > win*words {
+			t.Fatalf("window [%d,%d): backing grew to %d words, want ≤ window bound %d",
+				lo, hi, cap(bank.buf), win*words)
+		}
+	}
+}
+
+// TestBankWorldMasksWindowReuseAllocationFree: at a fixed window shape the
+// warmed Bank must stream windows without allocating — same steady-state
+// contract as the full-bank draw.
+func TestBankWorldMasksWindowReuseAllocationFree(t *testing.T) {
+	pg := randomishProbGraph(24)
+	pool := par.NewPool(1)
+	defer pool.Close()
+	const n, win = 256, 64
+	var bank Bank
+	bank.WorldMasksWindow(pool, pg, n, 0, win, 1)
+	lo, seed := 0, int64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		lo = (lo + win) % n
+		seed++
+		bank.WorldMasksWindow(pool, pg, n, lo, lo+win, seed)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed bank allocates %v per windowed draw, want 0", allocs)
+	}
+}
+
 // TestBankWorldMasksMatchSampledWorlds: bit e of bank world i is set iff
 // edge e exists in the i-th materialized world of the same seed — masks and
 // graphs describe the same possible worlds.

@@ -308,8 +308,9 @@ type Metrics struct {
 	shardsQuarantined atomic.Int64
 	shardsRebuilt     atomic.Int64
 
-	worldBatches atomic.Int64
-	worlds       atomic.Int64
+	worldBatches  atomic.Int64
+	worlds        atomic.Int64
+	bankPeakBytes atomic.Int64
 
 	peelRounds atomic.Int64
 	rescored   atomic.Int64
@@ -381,7 +382,16 @@ func (m *Metrics) LatencyP50(s Semantics) (time.Duration, int64) {
 func (m *Metrics) WorldBatch(worlds, words int) {
 	m.worldBatches.Add(1)
 	m.worlds.Add(int64(worlds))
-	_ = words
+	// Track the largest resident world-mask bank: worlds × words 64-bit mask
+	// words. Under windowed streaming (MCOptions.Window) each batch is one
+	// window, so the peak directly exposes the memory bound the window buys.
+	bytes := int64(worlds) * int64(words) * 8
+	for {
+		cur := m.bankPeakBytes.Load()
+		if bytes <= cur || m.bankPeakBytes.CompareAndSwap(cur, bytes) {
+			return
+		}
+	}
 }
 
 func (m *Metrics) PeelRound(affected int) {
@@ -442,6 +452,11 @@ type Snapshot struct {
 
 	WorldBatches int64 `json:"worldBatches"`
 	Worlds       int64 `json:"worlds"`
+	// BankPeakBytes is the largest single world-mask bank drawn (bytes):
+	// worlds × mask-words × 8 of the biggest WorldBatch. With windowed
+	// streaming it is bounded by window × words × 8 regardless of the total
+	// sample count.
+	BankPeakBytes int64 `json:"bankPeakBytes"`
 
 	PeelRounds int64 `json:"peelRounds"`
 	Rescored   int64 `json:"rescoredTriangles"`
@@ -470,6 +485,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ShardsRebuilt:     m.shardsRebuilt.Load(),
 		WorldBatches:      m.worldBatches.Load(),
 		Worlds:            m.worlds.Load(),
+		BankPeakBytes:     m.bankPeakBytes.Load(),
 		PeelRounds:        m.peelRounds.Load(),
 		Rescored:          m.rescored.Load(),
 		Candidates:        m.candidates.Load(),

@@ -100,6 +100,9 @@ func TestMetricsAccounting(t *testing.T) {
 	if s.WorldBatches != 2 || s.Worlds != 150 {
 		t.Errorf("worlds: batches=%d worlds=%d, want 2/150", s.WorldBatches, s.Worlds)
 	}
+	if s.BankPeakBytes != 100*4*8 {
+		t.Errorf("bankPeakBytes = %d, want %d (the larger batch, not the later)", s.BankPeakBytes, 100*4*8)
+	}
 	if s.PeelRounds != 1 || s.Rescored != 7 {
 		t.Errorf("peel: rounds=%d rescored=%d, want 1/7", s.PeelRounds, s.Rescored)
 	}

@@ -113,8 +113,20 @@ func MaxKWithScratch(probs []float64, t float64, m Method, s *Scratch) int {
 	if t <= 0 {
 		return len(probs)
 	}
-	c := len(probs)
+	if m == MethodDP {
+		return MaxKScratch(probs, t, s)
+	}
 	mu, sigma2 := MeanVar(probs)
+	return maxKClosedForm(len(probs), mu, sigma2, t, m)
+}
+
+// maxKClosedForm answers max{k : Pr[ζ ≥ k] ≥ t} for a c-factor distribution
+// with mean mu and variance sigma2 under one of the closed-form
+// approximations — the single dispatch both the slice path (MaxKWithScratch)
+// and the aggregate path (Dist.MaxKClosed) evaluate, so the two agree
+// bit-for-bit whenever they are handed bit-equal (mu, sigma2). t must be in
+// (0, 1] and m must not be MethodDP (the closed forms need no pmf).
+func maxKClosedForm(c int, mu, sigma2, t float64, m Method) int {
 	switch m {
 	case MethodCLT:
 		return normalMaxK(mu, sigma2, t, c)
@@ -125,9 +137,8 @@ func MaxKWithScratch(probs []float64, t float64, m Method, s *Scratch) int {
 		return poissonMaxK(mu-shift, int(shift), t, c)
 	case MethodBinomial:
 		return binomialMaxK(c, mu/float64(c), t)
-	default:
-		return MaxKScratch(probs, t, s)
 	}
+	panic("pbd: maxKClosedForm on a non-closed-form method")
 }
 
 // TailWith returns Pr[ζ ≥ k] under the given approximation; MethodDP gives

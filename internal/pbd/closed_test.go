@@ -1,0 +1,135 @@
+package pbd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// closedMethods are the approximations MaxKClosed accepts — every Method but
+// the DP fallback.
+var closedMethods = []Method{MethodCLT, MethodPoisson, MethodTranslatedPoisson, MethodBinomial}
+
+// TestMaxKClosedMatchesSliceDifferential is the bit-compatibility contract of
+// the aggregate tail path: after every mutation of a random add/remove churn,
+// MaxKClosed must answer exactly what the slice path answers over the packed
+// live factors, for every closed-form method and threshold. The two paths
+// share the maxKClosedForm dispatch, so agreement reduces to the maintained
+// (µ, σ²) being bitwise the MeanVar floats — which the rescan-on-drift rule
+// guarantees.
+func TestMaxKClosedMatchesSliceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	thresholds := []float64{1e-6, 0.01, 0.1, 0.3, 0.9, 1}
+	for iter := 0; iter < 40; iter++ {
+		var d Dist
+		init := make([]float64, rng.Intn(40))
+		for i := range init {
+			init[i] = randomFactor(rng)
+		}
+		d.Init(init)
+		live := d.Live()
+		var probs []float64
+		for op := 0; op < 80; op++ {
+			if live > 0 && rng.Intn(2) == 0 {
+				for {
+					s := rng.Intn(d.Len())
+					if d.Alive(s) {
+						d.RemoveFactor(s)
+						live--
+						break
+					}
+				}
+			} else {
+				d.AddFactor(randomFactor(rng))
+				live++
+			}
+			probs = d.AppendAlive(probs[:0])
+			thr := thresholds[op%len(thresholds)]
+			for _, m := range closedMethods {
+				if got, want := d.MaxKClosed(thr, m), MaxKWith(probs, thr, m); got != want {
+					t.Fatalf("iter %d op %d: MaxKClosed(t=%v, %v) = %d, slice path %d (live=%d)",
+						iter, op, thr, m, got, want, live)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxKClosedTrivialThresholds pins the degenerate contracts shared with
+// MaxKWith: t > 1 has no satisfying k, t ≤ 0 is satisfied by the full live
+// count.
+func TestMaxKClosedTrivialThresholds(t *testing.T) {
+	d := NewDist([]float64{0.4, 0.6, 0.2})
+	for _, m := range closedMethods {
+		if got := d.MaxKClosed(1.5, m); got != -1 {
+			t.Errorf("MaxKClosed(1.5, %v) = %d, want -1", m, got)
+		}
+		if got := d.MaxKClosed(0, m); got != 3 {
+			t.Errorf("MaxKClosed(0, %v) = %d, want 3", m, got)
+		}
+		if got := d.MaxKClosed(-1, m); got != 3 {
+			t.Errorf("MaxKClosed(-1, %v) = %d, want 3", m, got)
+		}
+	}
+}
+
+// TestRemoveHighPStaysIncremental pins the payoff of the compensated
+// deconvolution: removing a moderate p ≥ ½ factor from a freshly-built pmf
+// must stay on the incremental path (the a-priori geometric bound used to
+// force a rebuild for every such removal) and still answer MaxK exactly.
+func TestRemoveHighPStaysIncremental(t *testing.T) {
+	probs := []float64{0.3, 0.7, 0.45, 0.6, 0.2, 0.55, 0.35, 0.65, 0.25, 0.5,
+		0.4, 0.6, 0.3, 0.7, 0.2}
+	d := NewDist(append([]float64(nil), probs...))
+	alive := make([]bool, len(probs))
+	for i := range alive {
+		alive[i] = true
+	}
+	d.MaxK(0.1) // force a build so errUB starts at the rebuild's 0
+	// Three successive removals: the tracked bound compounds across removals
+	// (each deconvolution amplifies the inherited errUB), so a long enough
+	// run still rebuilds — correctly — but these first few must not.
+	for _, slot := range []int{1, 3, 5} {
+		d.RemoveFactor(slot)
+		alive[slot] = false
+		if d.dirty {
+			t.Fatalf("removing slot %d (p=%v) marked the pmf dirty; the compensated "+
+				"deconvolution should have kept it incremental", slot, probs[slot])
+		}
+		for _, thr := range []float64{1e-4, 0.1, 0.5, 0.9} {
+			if got, want := d.MaxK(thr), MaxK(distRefProbs(probs, alive), thr); got != want {
+				t.Fatalf("after removing slot %d: MaxK(t=%v) = %d, want %d", slot, thr, got, want)
+			}
+		}
+	}
+}
+
+// TestRemoveHighPAbortRebuilds drives the compensated path past its error
+// cap — a long run of p ≥ ½ removals amplifies the tracked residuals
+// geometrically — and checks the mid-loop abort degrades to a rebuild with
+// exact answers, never to silent drift.
+func TestRemoveHighPAbortRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	n := 80
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.5 + 0.45*rng.Float64()
+	}
+	d := NewDist(append([]float64(nil), probs...))
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	sawRebuild := false
+	for _, slot := range rng.Perm(n) {
+		d.RemoveFactor(slot)
+		alive[slot] = false
+		sawRebuild = sawRebuild || d.dirty
+		thr := []float64{1e-3, 0.2, 0.7}[slot%3]
+		if got, want := d.MaxK(thr), MaxK(distRefProbs(probs, alive), thr); got != want {
+			t.Fatalf("after removing slot %d: MaxK(t=%v) = %d, want %d", slot, thr, got, want)
+		}
+	}
+	if !sawRebuild {
+		t.Fatal("no removal tripped the error cap; the abort path went unexercised")
+	}
+}

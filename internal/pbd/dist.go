@@ -170,37 +170,110 @@ func (d *Dist) RemoveFactor(slot int) {
 		d.dirty = true
 		return
 	}
-	// Per-entry error recursion of the deconvolution:
-	// e[j] ≤ (e_prev + O(ulp))/q + (p/q)·e[j−1]. For p < ½ the geometric sum
-	// is bounded by 1/(1−2p); otherwise it grows like (p/q)^hi along the
-	// prefix.
-	K := float64(d.hi)
-	var amp float64
-	if r := p / q; r >= 1 {
-		amp = (K + 1) * math.Pow(r, K) / q
+	if p/q >= 1 {
+		// p ≥ ½: the a-priori geometric bound (p/q)^hi is hopelessly
+		// pessimistic — it used to force a rebuild for essentially every
+		// such removal. Run the deconvolution with compensated residual
+		// tracking instead and rebuild only when the actually-propagated
+		// error bound blows past the cap.
+		if !d.removeCompensated(p, q) {
+			d.dirty = true
+			return
+		}
 	} else {
-		amp = 1 / (q - p)
-	}
-	ne := (d.errUB + 6*ulp) * amp
-	if !(ne <= distErrCap) { // also catches NaN/Inf
-		d.dirty = true
-		return
-	}
-	f := d.f
-	f[0] /= q
-	for j := 1; j <= d.hi; j++ {
-		f[j] = (f[j] - p*f[j-1]) / q
+		// Per-entry error recursion of the deconvolution:
+		// e[j] ≤ (e_prev + O(ulp))/q + (p/q)·e[j−1]; for p < ½ the geometric
+		// sum is bounded by 1/(1−2p) = 1/(q−p).
+		ne := (d.errUB + 6*ulp) / (q - p)
+		if !(ne <= distErrCap) { // also catches NaN/Inf
+			d.dirty = true
+			return
+		}
+		f := d.f
+		f[0] /= q
+		for j := 1; j <= d.hi; j++ {
+			f[j] = (f[j] - p*f[j-1]) / q
+		}
+		d.errUB = ne
 	}
 	// The true support now ends at live; entries beyond it are rounding
 	// residue of the deconvolution.
 	if d.hi > d.live {
 		for j := d.live + 1; j <= d.hi; j++ {
-			f[j] = 0
+			d.f[j] = 0
 		}
 		d.hi = d.live
 	}
-	d.errUB = ne
 	d.exact = false
+}
+
+// removeCompensated deconvolves factor p out of the maintained pmf while
+// tracking, per entry, a rigorous bound on the propagated rounding error via
+// error-free transformations: the product error of p·f[j−1] is recovered
+// exactly with an FMA, the subtraction error with a branchless TwoSum, and
+// the division residual with a second FMA, so the local error of each step
+// is known exactly rather than bounded a priori. The inherited bound follows
+// the recursion eb_j = (errUB + |e1| + |e2| + |e3|)/q + (p/q)·eb_{j−1};
+// since p/q ≥ 1 it can still grow along the prefix, but it grows from the
+// actual ulp-scale residuals, not from a worst-case geometric blow-up — a
+// short prefix or a gently-amplifying factor now stays incremental where the
+// a-priori bound always rebuilt. Reports false when the bound exceeds
+// distErrCap (or turns non-finite) — possibly mid-loop, leaving the pmf
+// partially overwritten, which is safe because the caller marks it dirty and
+// a rebuild precedes the next read. On success d.errUB holds the largest
+// per-entry bound.
+func (d *Dist) removeCompensated(p, q float64) bool {
+	f := d.f
+	g0 := f[0] / q
+	e3 := math.FMA(-g0, q, f[0]) // division residual: f[0] = g0·q + e3
+	eb := (d.errUB + math.Abs(e3)) / q
+	if !(eb <= distErrCap) {
+		return false
+	}
+	f[0] = g0
+	ebMax := eb
+	for j := 1; j <= d.hi; j++ {
+		prod := p * f[j-1]
+		e1 := math.FMA(p, f[j-1], -prod) // exact: p·f[j−1] = prod + e1
+		diff := f[j] - prod
+		// Branchless TwoSum of f[j] + (−prod): e2 is the exact error of diff.
+		bb := diff - f[j]
+		e2 := (f[j] - (diff - bb)) + (-prod - bb)
+		g := diff / q
+		e3 = math.FMA(-g, q, diff) // division residual: diff = g·q + e3
+		eb = (d.errUB+math.Abs(e1)+math.Abs(e2)+math.Abs(e3))/q + (p/q)*eb
+		if !(eb <= distErrCap) {
+			return false
+		}
+		f[j] = g
+		if eb > ebMax {
+			ebMax = eb
+		}
+	}
+	d.errUB = ebMax
+	return true
+}
+
+// MaxKClosed answers max{k : Pr[ζ ≥ k] ≥ t} over the live factors under a
+// closed-form approximation (any Method but MethodDP), evaluated from the
+// maintained µ/σ² aggregates instead of packing the live factor slice and
+// re-deriving them — the Sec. 5.3 fast path with no per-query O(c) repack.
+// The answer is identical to MaxKWith(d.AppendAlive(nil), t, m): whenever
+// the aggregates may have drifted from the slot-order accumulation
+// (aggErr ≠ 0, or a lazily-invalidated maximum), they are rescanned first,
+// after which µ and σ² are bitwise the MeanVar floats and the shared
+// maxKClosedForm dispatch guarantees the same k.
+func (d *Dist) MaxKClosed(t float64, m Method) int {
+	if t > 1 {
+		return -1
+	}
+	if t <= 0 {
+		return d.live
+	}
+	if d.maxDirty || d.aggErr != 0 {
+		d.rescanAgg()
+	}
+	return maxKClosedForm(d.live, d.sumP, d.sumPQ, t, m)
 }
 
 // MaxK returns the largest k with Pr[ζ ≥ k] ≥ t over the live factors,

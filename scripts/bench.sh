@@ -21,6 +21,15 @@
 #     the noise gate below asserts that disabled fault injection keeps the
 #     contended serving path within noise of them — allocs/op within 1.25x
 #     always, ns/op within 2x on multi-iteration runs.
+#   - pr8_* fields: commit 5affd80 (PR 8), immediately before the
+#     memory-shaped validation kernels — two-pass triangle enumeration,
+#     per-candidate edge-bit world scans without shared aliveness, one
+#     monolithic world bank, AppendAlive repacks for every closed-form tail.
+#     Every local/global/weak row carries its PR 8 measurement alongside the
+#     historical baseline, so the per-optimization before/after is readable
+#     straight from BENCH_local.json; the kernel noise gate holds the current
+#     run to those numbers (allocs/op within 1.25x always, ns/op within 2x on
+#     multi-iteration runs).
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -41,7 +50,8 @@ out="${BENCH_OUT:-BENCH_local.json}"
 
 txt="$(mktemp)"
 base="$(mktemp)"
-trap 'rm -f "$txt" "$base"' EXIT
+kernelbase="$(mktemp)"
+trap 'rm -f "$txt" "$base" "$kernelbase"' EXIT
 
 # Baselines on the reference runner (Intel Xeon @ 2.10GHz), -benchmem.
 # ns/op from multi-iteration runs; allocs/op and B/op are deterministic.
@@ -69,14 +79,42 @@ BenchmarkEngineContended/observer=nil 170169506 3329296 12003
 BenchmarkEngineContended/observer=metrics 170780706 3328624 12000
 BASE
 
+# PR 8 kernel baseline, commit 5affd80 on the reference runner, -benchtime 2x:
+# the state immediately before the memory-shaped validation kernels.
+# Columns: name ns/op B/op allocs/op
+cat > "$kernelbase" <<'KERNELBASE'
+BenchmarkFig4LocalDP/krogan/theta=0.1 18152633 2401016 1468
+BenchmarkFig4LocalDP/krogan/theta=0.4 15937006 2383192 1437
+BenchmarkFig4LocalDP/dblp/theta=0.1 208455128 20854352 6587
+BenchmarkFig4LocalDP/dblp/theta=0.4 204342008 20915200 6542
+BenchmarkFig4LocalDP/flickr/theta=0.1 861368998 72217464 4557
+BenchmarkFig4LocalDP/flickr/theta=0.4 943258246 74001848 4516
+BenchmarkFig4LocalDP/pokec/theta=0.1 78402644 11726368 7910
+BenchmarkFig4LocalDP/pokec/theta=0.4 72895732 11497504 7844
+BenchmarkFig4LocalDP/biomine/theta=0.1 725519810 65082440 7563
+BenchmarkFig4LocalDP/biomine/theta=0.4 769774422 65577848 7528
+BenchmarkFig4LocalDP/ljournal/theta=0.1 442041117 47986608 13599
+BenchmarkFig4LocalDP/ljournal/theta=0.4 397355548 46627200 13468
+BenchmarkGlobal/krogan 158785179 3329024 12001
+BenchmarkGlobal/dblp 1315506262 30809472 40669
+BenchmarkGlobal/flickr 28174649844 171390312 179534
+BenchmarkWeak/krogan 18662049 768632 738
+BenchmarkWeak/dblp 113875021 4336920 1349
+BenchmarkWeak/flickr 1592818490 86594456 1246
+KERNELBASE
+
 echo "==> go test -bench $pattern -benchmem -benchtime $benchtime"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$txt"
 
-awk -v baselinefile="$base" -v benchtime="$benchtime" '
+awk -v baselinefile="$base" -v kernelfile="$kernelbase" -v benchtime="$benchtime" '
 BEGIN {
     while ((getline line < baselinefile) > 0) {
         split(line, f, " ")
         bns[f[1]] = f[2]; bb[f[1]] = f[3]; ba[f[1]] = f[4]
+    }
+    while ((getline line < kernelfile) > 0) {
+        split(line, f, " ")
+        kns[f[1]] = f[2]; kb[f[1]] = f[3]; ka[f[1]] = f[4]
     }
 }
 /^Benchmark/ {
@@ -115,10 +153,17 @@ END {
             # only the deterministic allocation columns carry a claim there.
             if (benchtime != "1x")
                 printf "      \"speedup\": %.2f,\n", bns[name] / cns[name]
-            printf "      \"allocs_reduction\": %.1f\n", ba[name] / ca[name]
-        } else {
-            printf "\n"
+            printf "      \"allocs_reduction\": %.1f", ba[name] / ca[name]
         }
+        if (name in kns) {
+            printf ",\n"
+            printf "      \"pr8_ns_per_op\": %s,\n", kns[name]
+            printf "      \"pr8_bytes_per_op\": %s,\n", kb[name]
+            printf "      \"pr8_allocs_per_op\": %s", ka[name]
+            if (benchtime != "1x")
+                printf ",\n      \"pr8_speedup\": %.2f", kns[name] / cns[name]
+        }
+        printf "\n"
         printf "    }%s\n", (i < n ? "," : "")
     }
     printf "  ]\n"
@@ -167,5 +212,46 @@ END {
         exit 1
     else
         printf "fault-injection noise gate OK (%d contended rows within baseline)\n", checked
+}
+' "$txt"
+
+# Kernel noise gate: the memory-shaped validation kernels (PR 9) must hold
+# every decomposition row at or below the PR 8 measurements — allocations are
+# deterministic, so the 1.25x allocs/op gate fires even in CI short mode
+# (-benchtime 1x); wall-clock only carries a claim on multi-iteration runs.
+awk -v kernelfile="$kernelbase" -v benchtime="$benchtime" '
+BEGIN {
+    while ((getline line < kernelfile) > 0) {
+        split(line, f, " ")
+        kns[f[1]] = f[2]; ka[f[1]] = f[4]
+    }
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ka)) next
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (allocs == "") next
+    checked++
+    if (allocs + 0 > ka[name] * 1.25) {
+        printf "FAIL %s: %s allocs/op exceeds 1.25x PR 8 baseline %s\n", name, allocs, ka[name]
+        bad = 1
+    }
+    if (benchtime != "1x" && ns + 0 > kns[name] * 2.0) {
+        printf "FAIL %s: %s ns/op exceeds 2x PR 8 baseline %s\n", name, ns, kns[name]
+        bad = 1
+    }
+}
+END {
+    if (checked == 0)
+        print "note: no kernel benchmark rows in this run; kernel noise gate skipped"
+    else if (bad)
+        exit 1
+    else
+        printf "kernel noise gate OK (%d rows within PR 8 baseline)\n", checked
 }
 ' "$txt"
