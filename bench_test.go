@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -234,6 +235,47 @@ func BenchmarkEngineReuse(b *testing.B) {
 		_, err := reg.Global(ctx, "krogan", globReq)
 		return err
 	}))
+}
+
+// BenchmarkColdStart measures what a persisted artifact buys a restarting
+// server: the prepare rows pay the full Prepare-from-edges path — triangle
+// and 4-clique enumeration — while the load rows read the same graph's
+// artifact back through the loader (checksum and invariant verification,
+// zero-copy section aliasing, no enumeration). scripts/bench.sh records both
+// rows per dataset in BENCH_local.json and gates flickr's load at ≥10× its
+// prepare on multi-iteration runs.
+func BenchmarkColdStart(b *testing.B) {
+	for _, name := range []string{"krogan", "dblp", "flickr"} {
+		g := benchGraph(name, 0.04)
+		pre, err := pn.Prepare(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), name+".pna")
+		if _, err := pn.SaveArtifact(path, pre); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/prepare", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pn.Prepare(g, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/load", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, _, err := pn.LoadArtifact(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Triangles() != pre.Triangles() {
+					b.Fatalf("loaded artifact has %d triangles, want %d", p.Triangles(), pre.Triangles())
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineContended measures the observer's hot-path cost where it

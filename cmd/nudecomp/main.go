@@ -31,6 +31,16 @@
 //
 //	nudecomp -dataset flickr -theta 0.001 -mode global -samples 1000 -window 100 -stats
 //
+// -membudget derives the window from a peak world-bank byte budget instead
+// of a fixed world count (ignored when -window is set), and -save/-loadidx
+// persist the prepare-stage artifact — CSR graph plus triangle index — in
+// the versioned binary format, so a later run (or another tool) starts from
+// the file with zero triangle enumeration:
+//
+//	nudecomp -dataset flickr -theta 0.001 -mode global -membudget 1048576 -stats
+//	nudecomp -dataset flickr -theta 0.3 -save flickr.pna
+//	nudecomp -loadidx flickr.pna -theta 0.001 -mode global -k 1
+//
 // -cpuprofile and -memprofile write pprof profiles of the decomposition
 // phase (graph loading excluded), so hot-path regressions are diagnosable
 // straight from the CLI:
@@ -54,6 +64,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	pn "probnucleus"
 )
@@ -69,6 +80,9 @@ func main() {
 		samples = flag.Int("samples", 200, "Monte-Carlo samples for global/weak modes")
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
 		window  = flag.Int("window", 0, "stream the world bank in windows of this many worlds (0 = one bank); results are identical at every window size")
+		membud  = flag.Int64("membudget", 0, "derive the window from this peak world-bank byte budget (0 = off; ignored when -window is set)")
+		save    = flag.String("save", "", "write the prepared artifact (CSR graph + triangle index) to this file after preparing")
+		loadidx = flag.String("loadidx", "", "load a prepared artifact written by -save instead of -input/-dataset, skipping triangle enumeration")
 		top     = flag.Int("top", 5, "print at most this many nuclei per level")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 		timeout = flag.Duration("timeout", 0, "abort the decomposition after this long (0 = no limit)")
@@ -83,14 +97,37 @@ func main() {
 		fatal(err)
 	}
 
+	// The observer is created before graph loading so -loadidx/-save artifact
+	// events land in the same -stats snapshot as the decomposition counters.
+	var metrics *pn.EngineMetrics
+	if *stats {
+		metrics = new(pn.EngineMetrics)
+	}
+
 	var pg *pn.Graph
+	var pre *pn.Prepared
 	switch {
+	case *loadidx != "":
+		if *input != "" || *name != "" {
+			fatal(fmt.Errorf("-loadidx carries its own graph; drop -input/-dataset"))
+		}
+		start := time.Now()
+		var bytes int64
+		pre, bytes, err = pn.LoadArtifact(*loadidx)
+		if err == nil {
+			if metrics != nil {
+				metrics.ArtifactLoaded(bytes, time.Since(start))
+			}
+			pg = pre.Graph()
+			fmt.Printf("loaded artifact: %s (%s, %d triangles, no enumeration)\n",
+				*loadidx, fmtBytes(bytes), pre.Triangles())
+		}
 	case *input != "":
 		pg, err = pn.ReadEdgeListFile(*input)
 	case *name != "":
 		pg = pn.MustDataset(*name, *scale)
 	default:
-		fmt.Fprintln(os.Stderr, "nudecomp: need -input or -dataset")
+		fmt.Fprintln(os.Stderr, "nudecomp: need -input, -dataset, or -loadidx")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,9 +152,7 @@ func main() {
 	// plus the context hook -timeout needs and the observer hook -stats
 	// needs.
 	var engOpts []pn.EngineOption
-	var metrics *pn.EngineMetrics
-	if *stats {
-		metrics = new(pn.EngineMetrics)
+	if metrics != nil {
 		engOpts = append(engOpts, pn.WithObserver(metrics))
 	}
 	eng := pn.NewEngine(1, *workers, engOpts...)
@@ -134,9 +169,23 @@ func main() {
 	// The graph is prepared once, before the sweep: every θ executes against
 	// the same triangle index instead of re-enumerating per query.
 	var runErr error
-	pre, err := eng.Prepare(ctx, pg)
-	if err != nil {
-		runErr = err
+	if pre == nil {
+		pre, err = eng.Prepare(ctx, pg)
+		if err != nil {
+			runErr = err
+		}
+	}
+	if runErr == nil && *save != "" {
+		start := time.Now()
+		n, err := pn.SaveArtifact(*save, pre)
+		if err != nil {
+			runErr = err
+		} else {
+			if metrics != nil {
+				metrics.ArtifactSaved(n, time.Since(start))
+			}
+			fmt.Printf("saved artifact: %s (%s)\n", *save, fmtBytes(n))
+		}
 	}
 	for _, th := range thetas {
 		if runErr != nil {
@@ -158,14 +207,14 @@ func main() {
 			}
 			printLocal(res, *top)
 		case "global":
-			nuclei, err := eng.GlobalPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window})
+			nuclei, err := eng.GlobalPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window, MemBudget: *membud})
 			if err != nil {
 				runErr = err
 				break
 			}
 			printProbNuclei("g", nuclei, *k, th, *top)
 		case "weak":
-			nuclei, err := eng.WeakPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window})
+			nuclei, err := eng.WeakPrepared(ctx, pre, pn.NucleiRequest{K: *k, Theta: th, Samples: *samples, Seed: *seed, Window: *window, MemBudget: *membud})
 			if err != nil {
 				runErr = err
 				break
@@ -215,6 +264,14 @@ func printStats(snap pn.EngineSnapshot) {
 	}
 	if snap.Candidates > 0 {
 		fmt.Printf("  candidates: %d validated, %d triangles\n", snap.Candidates, snap.CandidateTris)
+	}
+	if snap.ArtifactSaves > 0 {
+		fmt.Printf("  artifacts: %d saved, %s, mean %.1fms\n",
+			snap.ArtifactSaves, fmtBytes(snap.ArtifactSavedBytes), snap.ArtifactSaveLatency.MeanMs)
+	}
+	if snap.ArtifactLoads > 0 {
+		fmt.Printf("  artifacts: %d loaded, %s, mean %.1fms\n",
+			snap.ArtifactLoads, fmtBytes(snap.ArtifactLoadedBytes), snap.ArtifactLoadLatency.MeanMs)
 	}
 	fmt.Printf("  peeling: %d rounds\n", snap.PeelRounds)
 	fmt.Printf("  pool: %d rounds, %d items, %.1fms busy\n", snap.PoolRounds, snap.PoolItems, snap.PoolTimeMs)

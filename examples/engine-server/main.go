@@ -21,6 +21,13 @@
 // /graphs/{name}/nuclei are the per-graph query routes. The startup dataset
 // is registered under its own name.
 //
+// -artifacts makes the registry durable: every registered graph's prepared
+// artifact is persisted into the directory (versioned binary format, see the
+// README's Persistent artifacts section), and a restarted server warm-starts
+// from it — every graph found on disk is served again without re-enumerating
+// a single triangle, including the startup dataset when its name is already
+// persisted. Artifact save/load counters appear in /metrics.
+//
 // Run it and issue concurrent queries:
 //
 //	go run ./examples/engine-server -dataset krogan -scale 0.04 &
@@ -76,20 +83,33 @@ func main() {
 		maxQueue = flag.Int("maxqueue", 64, "max requests waiting for a shard before 503 (-1 = unbounded)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		cache    = flag.Int("cache", pn.DefaultCacheCapacity, "registry result-cache capacity (0 disables caching)")
+		artDir   = flag.String("artifacts", "", "persist prepared-graph artifacts into this directory and warm-start from it on boot")
 	)
 	flag.Parse()
 
 	metrics := new(pn.EngineMetrics)
 	eng := pn.NewEngine(*shards, *workers, pn.WithMaxQueue(*maxQueue), pn.WithObserver(metrics))
+	regOpts := []pn.RegistryOption{pn.WithCacheCapacity(*cache), pn.WithRegistryObserver(metrics)}
+	if *artDir != "" {
+		regOpts = append(regOpts, pn.WithArtifactDir(*artDir))
+	}
 	srv := &server{
 		pg:      pn.MustDataset(*name, *scale),
 		eng:     eng,
-		reg:     pn.NewRegistry(eng, pn.WithCacheCapacity(*cache), pn.WithRegistryObserver(metrics)),
+		reg:     pn.NewRegistry(eng, regOpts...),
 		metrics: metrics,
 		timeout: *timeout,
 	}
-	if _, err := srv.reg.Put(context.Background(), *name, srv.pg); err != nil {
-		log.Fatal(err)
+	if warm := srv.reg.List(); len(warm) > 0 {
+		log.Printf("warm start: %d graph(s) loaded from %s, no enumeration", len(warm), *artDir)
+	}
+	// The startup dataset registers only when the artifact dir did not
+	// already warm-start it — a persisted copy serves the same queries
+	// without re-enumerating, which is the point of -artifacts.
+	if _, err := srv.reg.Get(*name); err != nil {
+		if _, err := srv.reg.Put(context.Background(), *name, srv.pg); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -361,12 +381,14 @@ func (s *server) handleLocal(w http.ResponseWriter, r *http.Request) {
 func parseNucleiQuery(r *http.Request) (pn.NucleiRequest, string, error) {
 	q := query{r: r}
 	req := pn.NucleiRequest{
-		K:       q.int("k", 1),
-		Theta:   q.float("theta", 0.3),
-		Samples: q.int("samples", 0),
-		Eps:     q.float("eps", 0),
-		Delta:   q.float("delta", 0),
-		Seed:    q.int64("seed", 1),
+		K:         q.int("k", 1),
+		Theta:     q.float("theta", 0.3),
+		Samples:   q.int("samples", 0),
+		Eps:       q.float("eps", 0),
+		Delta:     q.float("delta", 0),
+		Seed:      q.int64("seed", 1),
+		Window:    q.int("window", 0),
+		MemBudget: q.int64("membudget", 0),
 	}
 	sem := r.URL.Query().Get("semantics")
 	switch sem {

@@ -430,3 +430,57 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("post-shutdown request returned %v, want ErrEngineClosed", err)
 	}
 }
+
+// TestArtifactDirWarmStart: a server built with an artifact directory
+// persists POSTed graphs, and a second server over the same directory serves
+// them straight from disk — the same query answers, /metrics reporting the
+// loads and zero index builds. This pins the -artifacts flag's whole
+// lifecycle at the HTTP surface.
+func TestArtifactDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cold := newTestServer(t, 1, -1)
+	cold.reg = pn.NewRegistry(cold.eng,
+		pn.WithRegistryObserver(cold.metrics), pn.WithArtifactDir(dir))
+	h := cold.handler()
+	if w := do(t, h, "POST", "/graphs?name=posted", "0 1 0.9\n0 2 0.9\n1 2 0.9\n"); w.Code != http.StatusCreated {
+		t.Fatalf("POST /graphs = %d, body %q", w.Code, w.Body.String())
+	}
+	coldAnswer := get(t, h, "/graphs/posted/local?theta=0.3")
+	if coldAnswer.Code != http.StatusOK {
+		t.Fatalf("cold query = %d", coldAnswer.Code)
+	}
+
+	// "Restart": a fresh engine + registry over the same directory.
+	m := new(pn.EngineMetrics)
+	eng := pn.NewEngine(1, 1, pn.WithObserver(m))
+	t.Cleanup(eng.Close)
+	warm := &server{
+		pg:      cold.pg,
+		eng:     eng,
+		reg:     pn.NewRegistry(eng, pn.WithRegistryObserver(m), pn.WithArtifactDir(dir)),
+		metrics: m,
+		timeout: 10 * time.Second,
+	}
+	wh := warm.handler()
+	if g := get(t, wh, "/graphs/posted"); g.Code != http.StatusOK {
+		t.Fatalf("warm-started graph lookup = %d, body %q", g.Code, g.Body.String())
+	}
+	warmAnswer := get(t, wh, "/graphs/posted/local?theta=0.3")
+	if warmAnswer.Code != http.StatusOK {
+		t.Fatalf("warm query = %d", warmAnswer.Code)
+	}
+	if coldAnswer.Body.String() != warmAnswer.Body.String() {
+		t.Errorf("warm-started answer differs:\ncold %s\nwarm %s",
+			coldAnswer.Body.String(), warmAnswer.Body.String())
+	}
+	var doc pn.EngineSnapshot
+	if err := json.Unmarshal(get(t, wh, "/metrics").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.IndexBuilds != 0 {
+		t.Errorf("warm server index builds = %d, want 0 (artifact load only)", doc.IndexBuilds)
+	}
+	if doc.ArtifactLoads == 0 {
+		t.Error("warm server reported no artifact loads in /metrics")
+	}
+}

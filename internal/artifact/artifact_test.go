@@ -1,0 +1,507 @@
+package artifact
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"testing"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/obs"
+	"probnucleus/internal/probgraph"
+)
+
+func mustPrepare(t testing.TB, pg *probgraph.Graph) *core.Prepared {
+	t.Helper()
+	pre, err := core.Prepare(pg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pre
+}
+
+// roundTripCases covers the structural corners: the paper figures (triangles
+// and 4-cliques), a clique, a triangle-free path, and an edgeless graph
+// (every variable-length section empty).
+func roundTripCases(t testing.TB) map[string]*probgraph.Graph {
+	t.Helper()
+	path, err := probgraph.New(3, []probgraph.ProbEdge{{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := probgraph.New(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*probgraph.Graph{
+		"fig1":     fixtures.Fig1(),
+		"fig2a":    fixtures.Fig2aNucleus(),
+		"k5":       fixtures.Fig3cK5(),
+		"complete": fixtures.CompleteProbGraph(7, 0.6),
+		"path":     path,
+		"empty":    empty,
+	}
+}
+
+// diffPrepared structurally compares two artifacts component by component;
+// it returns "" when they are identical.
+func diffPrepared(a, b *core.Prepared) string {
+	ao, aa := a.Graph().G.CSR()
+	bo, ba := b.Graph().G.CSR()
+	switch {
+	case !slices.Equal(ao, bo):
+		return "CSR offsets differ"
+	case !slices.Equal(aa, ba):
+		return "CSR adjacency differs"
+	case !slices.Equal(a.Graph().Probs(), b.Graph().Probs()):
+		return "probabilities differ"
+	case !slices.Equal(a.Edges(), b.Edges()):
+		return "canonical edge lists differ"
+	case !slices.Equal(a.Index().Tris, b.Index().Tris):
+		return "triangle lists differ"
+	case len(a.Index().Comps) != len(b.Index().Comps):
+		return "completion list counts differ"
+	}
+	for i := range a.Index().Comps {
+		if !slices.Equal(a.Index().Comps[i], b.Index().Comps[i]) {
+			return "completion lists differ"
+		}
+	}
+	return ""
+}
+
+// queryAll runs all three semantics against pre with fixed parameters.
+func queryAll(t testing.TB, eng *core.Engine, pre *core.Prepared) (any, any, any) {
+	t.Helper()
+	ctx := context.Background()
+	local, err := eng.LocalPrepared(ctx, pre, core.LocalRequest{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LocalResult carries the PG/TI pointers; the semantic payload is the
+	// nucleusness vector (a loaded index stores its lookup structure
+	// differently from a fresh one, so whole-struct DeepEqual is wrong).
+	localOut := local.Nucleusness
+	req := core.NucleiRequest{K: 1, Theta: 0.3, Samples: 40, Seed: 7}
+	glob, err := eng.GlobalPrepared(ctx, pre, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := eng.WeakPrepared(ctx, pre, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return localOut, glob, weak
+}
+
+// TestRoundTripDifferential is the differential bar of the format: a loaded
+// artifact must be structurally identical to the freshly prepared one, its
+// triangle-id lookups must agree with the map-backed index everywhere, and
+// all three semantics must return byte-identical results through it.
+func TestRoundTripDifferential(t *testing.T) {
+	eng := core.NewEngine(1, 2)
+	defer eng.Close()
+	for name, pg := range roundTripCases(t) {
+		t.Run(name, func(t *testing.T) {
+			fresh := mustPrepare(t, pg)
+			path := filepath.Join(t.TempDir(), "g.pna")
+			wrote, err := Save(path, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != wrote {
+				t.Fatalf("Save reported %d bytes, file has %d", wrote, st.Size())
+			}
+			loaded, read, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if read != wrote {
+				t.Fatalf("Load reported %d bytes, Save wrote %d", read, wrote)
+			}
+			if d := diffPrepared(fresh, loaded); d != "" {
+				t.Fatalf("loaded artifact differs from fresh: %s", d)
+			}
+			// The map-free ID path must agree with the hash map for every
+			// indexed triangle and for absent ones.
+			for i, tri := range fresh.Index().Tris {
+				id, ok := loaded.Index().ID(tri)
+				if !ok || id != int32(i) {
+					t.Fatalf("loaded ID(%v) = %d,%v, want %d,true", tri, id, ok, i)
+				}
+			}
+			if _, ok := loaded.Index().ID(graph.Triangle{A: 0, B: 1, C: int32(pg.NumVertices() + 5)}); ok {
+				t.Fatal("loaded index claims to contain an absent triangle")
+			}
+			if pg.NumEdges() > 0 && pg.NumVertices() >= 3 {
+				fl, fg, fw := queryAll(t, eng, fresh)
+				ll, lg, lw := queryAll(t, eng, loaded)
+				if !reflect.DeepEqual(fl, ll) {
+					t.Error("local results differ between fresh and loaded artifact")
+				}
+				if !reflect.DeepEqual(fg, lg) {
+					t.Error("global results differ between fresh and loaded artifact")
+				}
+				if !reflect.DeepEqual(fw, lw) {
+					t.Error("weak results differ between fresh and loaded artifact")
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDeterministic: the encoder is a pure function of the Prepared —
+// two encodings are byte-identical, and Save writes exactly Encode's image.
+func TestEncodeDeterministic(t *testing.T) {
+	pre := mustPrepare(t, fixtures.Fig1())
+	a, b := Encode(pre), Encode(pre)
+	if !slices.Equal(a, b) {
+		t.Fatal("two encodings of the same Prepared differ")
+	}
+	path := filepath.Join(t.TempDir(), "g.pna")
+	if _, err := Save(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a, onDisk) {
+		t.Fatal("Save wrote bytes different from Encode")
+	}
+}
+
+// TestDecodeMatchesLoad: the copying decoder and the zero-copy mapped loader
+// must produce structurally identical artifacts from the same bytes.
+func TestDecodeMatchesLoad(t *testing.T) {
+	pre := mustPrepare(t, fixtures.Fig1())
+	img := Encode(pre)
+	decoded, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.pna")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffPrepared(decoded, loaded); d != "" {
+		t.Fatalf("Decode and Load disagree: %s", d)
+	}
+	if d := diffPrepared(pre, decoded); d != "" {
+		t.Fatalf("Decode differs from the original: %s", d)
+	}
+}
+
+// TestLoadSkipsEnumeration is the accounting proof of the cold-start story:
+// serving all three semantics from a loaded artifact fires zero IndexBuilt
+// events — the triangle index is never re-enumerated.
+func TestLoadSkipsEnumeration(t *testing.T) {
+	pre := mustPrepare(t, fixtures.Fig1()) // package-level Prepare: unobserved
+	path := filepath.Join(t.TempDir(), "g.pna")
+	if _, err := Save(path, pre); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := new(obs.Metrics)
+	eng := core.NewEngine(1, 1, core.WithObserver(m))
+	defer eng.Close()
+	queryAll(t, eng, loaded)
+	if got := m.IndexBuilds(); got != 0 {
+		t.Fatalf("queries against a loaded artifact fired %d index builds, want 0", got)
+	}
+}
+
+// refreshChecksums recomputes every checksum layer of img in place, so tests
+// can corrupt section *contents* and prove the invariant validation — not
+// just the CRCs — rejects the result.
+func refreshChecksums(img []byte) {
+	le := binary.LittleEndian
+	file := crc32.New(castagnoli)
+	var b [4]byte
+	for i := 0; i < numSections; i++ {
+		e := img[tableOffset+i*entrySize:]
+		off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+		crc := crc32.Checksum(img[off:off+length], castagnoli)
+		le.PutUint32(e[24:], crc)
+		le.PutUint32(b[:], crc)
+		file.Write(b[:])
+	}
+	le.PutUint32(img[24:], crc32.Checksum(img[tableOffset:sectionsOffset], castagnoli))
+	le.PutUint32(img[28:], file.Sum32())
+}
+
+func wantTyped(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: decode succeeded, want error", what)
+	}
+	if !errors.Is(err, ErrBadArtifact) && !errors.Is(err, ErrArtifactVersion) {
+		t.Fatalf("%s: untyped error %v", what, err)
+	}
+}
+
+// TestDecodeTruncated: every prefix of a valid image is rejected with a typed
+// error.
+func TestDecodeTruncated(t *testing.T) {
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+	for n := 0; n < len(img); n++ {
+		if _, err := Decode(img[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		} else if !errors.Is(err, ErrBadArtifact) && !errors.Is(err, ErrArtifactVersion) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestDecodeBitFlips: flipping any single byte of a valid image either fails
+// with a typed error or — only for bytes no section covers, i.e. alignment
+// padding — still decodes to the identical artifact. Never a panic, never a
+// silently different result.
+func TestDecodeBitFlips(t *testing.T) {
+	orig := mustPrepare(t, fixtures.Fig1())
+	img := Encode(orig)
+	for i := range img {
+		mut := slices.Clone(img)
+		mut[i] ^= 0x40
+		pre, err := Decode(mut)
+		if err != nil {
+			if !errors.Is(err, ErrBadArtifact) && !errors.Is(err, ErrArtifactVersion) {
+				t.Fatalf("flip at byte %d: untyped error %v", i, err)
+			}
+			continue
+		}
+		if d := diffPrepared(orig, pre); d != "" {
+			t.Fatalf("flip at byte %d accepted but changed the artifact: %s", i, d)
+		}
+	}
+}
+
+// TestDecodeHeaderCorruption: targeted header damage — magic, version, size,
+// section count, reserved field — each yields its typed error, version skew
+// specifically ErrArtifactVersion.
+func TestDecodeHeaderCorruption(t *testing.T) {
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+	le := binary.LittleEndian
+
+	mut := slices.Clone(img)
+	mut[0] = 'X'
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "bad magic")
+
+	mut = slices.Clone(img)
+	le.PutUint32(mut[8:], FormatVersion+1)
+	if _, err := Decode(mut); !errors.Is(err, ErrArtifactVersion) {
+		t.Fatalf("future version: %v, want ErrArtifactVersion", err)
+	}
+
+	mut = slices.Clone(img)
+	le.PutUint32(mut[12:], numSections+1)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "wrong section count")
+
+	mut = slices.Clone(img)
+	le.PutUint64(mut[16:], uint64(len(img))+8)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "wrong file size")
+
+	mut = slices.Clone(img)
+	le.PutUint64(mut[56:], 1)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "nonzero reserved field")
+
+	// A forged header cannot force a large allocation: huge declared counts
+	// are rejected before any section is decoded.
+	mut = slices.Clone(img)
+	le.PutUint64(mut[32:], 1<<40)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "huge vertex count")
+}
+
+// TestDecodeSectionTableCorruption: a shifted offset, inflated length, or
+// reordered kind in the section table is caught even after the table CRC is
+// made to match again.
+func TestDecodeSectionTableCorruption(t *testing.T) {
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+	le := binary.LittleEndian
+	fixTable := func(mut []byte) { // re-cover the table edit with a valid CRC
+		le.PutUint32(mut[24:], crc32.Checksum(mut[tableOffset:sectionsOffset], castagnoli))
+	}
+
+	mut := slices.Clone(img)
+	le.PutUint64(mut[tableOffset+8:], uint64(sectionsOffset)+8) // shift first section
+	fixTable(mut)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "shifted section offset")
+
+	mut = slices.Clone(img)
+	e := mut[tableOffset+(numSections-1)*entrySize:]
+	le.PutUint64(e[16:], le.Uint64(e[16:])+4096) // inflate last section beyond EOF
+	fixTable(mut)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "overlong section")
+
+	mut = slices.Clone(img)
+	le.PutUint32(mut[tableOffset:], secAdj) // wrong kind in slot 0
+	fixTable(mut)
+	wantTyped(t, func() error { _, err := Decode(mut); return err }(), "misordered section kind")
+}
+
+// TestDecodeInvariantViolations: corruption that keeps every checksum valid
+// is still rejected by the invariant validation pass. Each case damages one
+// section's contents and refreshes all CRC layers before decoding.
+func TestDecodeInvariantViolations(t *testing.T) {
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+	le := binary.LittleEndian
+	section := func(mut []byte, kind int) (off, length uint64) {
+		e := mut[tableOffset+(kind-secOffs)*entrySize:]
+		return le.Uint64(e[8:]), le.Uint64(e[16:])
+	}
+	cases := map[string]func(mut []byte){
+		"offsets not monotone": func(mut []byte) {
+			off, _ := section(mut, secOffs)
+			le.PutUint32(mut[off+4:], 1<<30)
+		},
+		"neighbor out of range": func(mut []byte) {
+			off, _ := section(mut, secAdj)
+			le.PutUint32(mut[off:], 1<<30)
+		},
+		"probability above one": func(mut []byte) {
+			off, _ := section(mut, secProb)
+			le.PutUint64(mut[off:], 0x3FF8000000000000) // 1.5
+		},
+		"probability NaN": func(mut []byte) {
+			off, _ := section(mut, secProb)
+			le.PutUint64(mut[off:], 0x7FF8000000000001)
+		},
+		"triangle vertices unordered": func(mut []byte) {
+			off, _ := section(mut, secTris)
+			a := le.Uint32(mut[off:])
+			le.PutUint32(mut[off:], le.Uint32(mut[off+4:]))
+			le.PutUint32(mut[off+4:], a)
+		},
+		"completion offsets overrun": func(mut []byte) {
+			off, length := section(mut, secCompOffs)
+			le.PutUint32(mut[off+length-4:], 1<<30)
+		},
+		"lookup table repeats an id": func(mut []byte) {
+			off, _ := section(mut, secTriSort)
+			le.PutUint32(mut[off+4:], le.Uint32(mut[off:]))
+		},
+	}
+	for name, damage := range cases {
+		mut := slices.Clone(img)
+		damage(mut)
+		refreshChecksums(mut)
+		wantTyped(t, func() error { _, err := Decode(mut); return err }(), name)
+	}
+}
+
+// TestLoadVerifiedCrossChecks: the cross-reference tier. An artifact whose
+// two directed copies of an edge disagree on probability is structurally
+// sound — every index in bounds, every list sorted — so Load accepts it, but
+// LoadVerified's symmetry check refuses it. On an undamaged file the two
+// loaders agree.
+func TestLoadVerifiedCrossChecks(t *testing.T) {
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+	le := binary.LittleEndian
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.pna")
+	if err := os.WriteFile(good, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Load(good)
+	if err != nil {
+		t.Fatalf("Load(good): %v", err)
+	}
+	got, _, err := LoadVerified(good)
+	if err != nil {
+		t.Fatalf("LoadVerified(good): %v", err)
+	}
+	if got.Triangles() != want.Triangles() || got.Cliques() != want.Cliques() {
+		t.Fatalf("LoadVerified disagrees with Load: %d/%d triangles, %d/%d cliques",
+			got.Triangles(), want.Triangles(), got.Cliques(), want.Cliques())
+	}
+
+	// Nudge one direction's mantissa down an ulp: still in (0,1], no longer
+	// equal to the reverse entry.
+	mut := slices.Clone(img)
+	e := mut[tableOffset+(secProb-secOffs)*entrySize:]
+	off := le.Uint64(e[8:])
+	le.PutUint64(mut[off:], le.Uint64(mut[off:])-1)
+	refreshChecksums(mut)
+	asym := filepath.Join(dir, "asym.pna")
+	if err := os.WriteFile(asym, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(asym); err != nil {
+		t.Fatalf("Load should not cross-check probabilities: %v", err)
+	}
+	if _, _, err := LoadVerified(asym); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("asymmetric probability passed LoadVerified: %v, want ErrBadArtifact", err)
+	}
+}
+
+// TestLoadErrors: the file-backed loader (the mmap path on unix) reports the
+// same typed errors as Decode, and a missing file is a plain error.
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Load(filepath.Join(dir, "absent.pna")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	img := Encode(mustPrepare(t, fixtures.Fig1()))
+
+	trunc := filepath.Join(dir, "trunc.pna")
+	if err := os.WriteFile(trunc, img[:len(img)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(trunc); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("truncated file: %v, want ErrBadArtifact", err)
+	}
+
+	flipped := filepath.Join(dir, "flip.pna")
+	mut := slices.Clone(img)
+	mut[sectionsOffset+5] ^= 1
+	if err := os.WriteFile(flipped, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(flipped); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("bit-flipped file: %v, want ErrBadArtifact", err)
+	}
+
+	empty := filepath.Join(dir, "empty.pna")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(empty); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("empty file: %v, want ErrBadArtifact", err)
+	}
+}
+
+// TestEncodeRejectsNothingButValidateDoes: a Prepared assembled from
+// inconsistent parts encodes fine (Encode trusts its input) but the decoder's
+// validation refuses to resurrect it — the reader, not the writer, is the
+// trust boundary.
+func TestEncodeRejectsNothingButValidateDoes(t *testing.T) {
+	pg := fixtures.Fig1()
+	offs, adj := pg.G.CSR()
+	// A triangle whose edge (0, NumVertices-1) may not exist, with vertices
+	// deliberately out of order.
+	ti := graph.IndexFromParts([]graph.Triangle{{A: 2, B: 1, C: 0}}, [][]int32{nil}, nil)
+	bad := core.NewPreparedFromParts(probgraph.FromParts(offs, adj, pg.Probs()), ti, nil)
+	img := Encode(bad)
+	if _, err := Decode(img); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("inconsistent parts decoded: %v, want ErrBadArtifact", err)
+	}
+}

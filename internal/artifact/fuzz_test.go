@@ -1,0 +1,50 @@
+package artifact
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/fixtures"
+)
+
+// FuzzLoadArtifact throws arbitrary bytes at the artifact reader (Decode is
+// the parse/validate core shared by the mapped and copying Load paths). The
+// contract under fuzz: any input either decodes to a usable Prepared or
+// fails with ErrBadArtifact/ErrArtifactVersion — never a panic, and never a
+// large allocation driven by a forged header, since every declared size is
+// cross-checked against the real byte count before anything is allocated.
+// Seeds cover the interesting regions: a valid image, truncations, header
+// and section-table prefixes, and content bit flips.
+func FuzzLoadArtifact(f *testing.F) {
+	pre, err := core.Prepare(fixtures.Fig1(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	img := Encode(pre)
+	f.Add([]byte{})
+	f.Add(img)
+	f.Add(img[:headerSize])
+	f.Add(img[:sectionsOffset])
+	f.Add(img[:len(img)/2])
+	f.Add(img[:len(img)-1])
+	for _, i := range []int{0, 8, 16, 32, tableOffset + 8, tableOffset + 16, sectionsOffset, len(img) - 4} {
+		mut := slices.Clone(img)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pre, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadArtifact) && !errors.Is(err, ErrArtifactVersion) {
+				t.Fatalf("untyped error from Decode: %v", err)
+			}
+			return
+		}
+		// An accepted artifact must be safe to use.
+		_ = pre.Triangles()
+		_ = pre.Cliques()
+		_ = pre.Edges()
+	})
+}

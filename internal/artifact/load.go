@@ -1,0 +1,483 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"runtime"
+	"unsafe"
+
+	"probnucleus/internal/core"
+	"probnucleus/internal/graph"
+	"probnucleus/internal/probgraph"
+)
+
+// errMmapUnsupported makes Load fall back to the copying reader; it is never
+// returned to callers.
+var errMmapUnsupported = errors.New("artifact: mmap unavailable")
+
+// badf wraps a malformed-artifact detail in ErrBadArtifact so callers can
+// match the class with errors.Is while logs keep the specifics.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadArtifact, fmt.Sprintf(format, args...))
+}
+
+// header is the parsed fixed header.
+type header struct {
+	nVerts, nAdj, nTris uint64
+}
+
+// tableEntry is one parsed section-table row.
+type tableEntry struct {
+	off, length uint64
+}
+
+// parse checks everything about an artifact image that can be checked without
+// allocating: magic, version, declared size against the actual byte count,
+// the section table's shape (kinds in order, element widths, the exact packed
+// layout the encoder emits — which rules out overlapping or out-of-bounds
+// sections), and all three checksum layers. Counts are bounded to int32-safe
+// ranges here, and every section length is pinned to the header counts and
+// the real file size, so a forged header cannot induce a large allocation
+// downstream.
+func parse(data []byte) (header, [numSections]tableEntry, error) {
+	var h header
+	var secs [numSections]tableEntry
+	le := binary.LittleEndian
+	if len(data) < sectionsOffset {
+		return h, secs, badf("file too small (%d bytes)", len(data))
+	}
+	if [8]byte(data[0:8]) != magic {
+		return h, secs, badf("bad magic")
+	}
+	if v := le.Uint32(data[8:]); v != FormatVersion {
+		return h, secs, fmt.Errorf("%w: file has version %d, reader speaks %d", ErrArtifactVersion, v, FormatVersion)
+	}
+	if n := le.Uint32(data[12:]); n != numSections {
+		return h, secs, badf("header declares %d sections, want %d", n, numSections)
+	}
+	if sz := le.Uint64(data[16:]); sz != uint64(len(data)) {
+		return h, secs, badf("header declares %d bytes, file has %d", sz, len(data))
+	}
+	if rsv := le.Uint64(data[56:]); rsv != 0 {
+		return h, secs, badf("reserved header field is %d, want 0", rsv)
+	}
+	h.nVerts, h.nAdj, h.nTris = le.Uint64(data[32:]), le.Uint64(data[40:]), le.Uint64(data[48:])
+	const maxCount = math.MaxInt32
+	if h.nVerts >= maxCount || h.nAdj > maxCount || h.nTris >= maxCount {
+		return h, secs, badf("element counts exceed int32 range")
+	}
+	if got, want := crc32.Checksum(data[tableOffset:sectionsOffset], castagnoli), le.Uint32(data[24:]); got != want {
+		return h, secs, badf("section table checksum mismatch")
+	}
+
+	// The table must describe exactly the layout the encoder writes: sections
+	// in kind order, packed back to back with 8-byte alignment, counts
+	// matching the header. The flat completion-list length is the one degree
+	// of freedom; it is bounded here and tied to the offsets section during
+	// validation.
+	want := [numSections]uint64{h.nVerts + 1, h.nAdj, h.nAdj, 3 * h.nTris, h.nTris + 1, 0, h.nTris}
+	fileCRC := crc32.New(castagnoli)
+	var crcBytes [4]byte
+	pos := uint64(sectionsOffset)
+	for i := 0; i < numSections; i++ {
+		e := data[tableOffset+i*entrySize:]
+		kind := uint32(secOffs + i)
+		if got := le.Uint32(e[0:]); got != kind {
+			return h, secs, badf("section %d has kind %d, want %d", i, got, kind)
+		}
+		if got := le.Uint32(e[4:]); got != elemSize(kind) {
+			return h, secs, badf("section kind %d has element size %d, want %d", kind, got, elemSize(kind))
+		}
+		off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+		if off != pos {
+			return h, secs, badf("section kind %d starts at %d, want %d", kind, off, pos)
+		}
+		count := length / uint64(elemSize(kind))
+		if count*uint64(elemSize(kind)) != length {
+			return h, secs, badf("section kind %d length %d is not a multiple of its element size", kind, length)
+		}
+		if kind == secCompFlat {
+			if count > maxCount {
+				return h, secs, badf("completion list count exceeds int32 range")
+			}
+		} else if count != want[i] {
+			return h, secs, badf("section kind %d has %d elements, header implies %d", kind, count, want[i])
+		}
+		if length > uint64(len(data))-off {
+			return h, secs, badf("section kind %d overruns the file", kind)
+		}
+		crc := crc32.Checksum(data[off:off+length], castagnoli)
+		if got := le.Uint32(e[24:]); got != crc {
+			return h, secs, badf("section kind %d checksum mismatch", kind)
+		}
+		le.PutUint32(crcBytes[:], crc)
+		fileCRC.Write(crcBytes[:])
+		secs[i] = tableEntry{off: off, length: length}
+		pos = align8(off + length)
+	}
+	if pos != uint64(len(data)) {
+		return h, secs, badf("sections end at %d, file has %d bytes", pos, len(data))
+	}
+	if got, want := fileCRC.Sum32(), le.Uint32(data[28:]); got != want {
+		return h, secs, badf("whole-file checksum mismatch")
+	}
+	return h, secs, nil
+}
+
+// parts holds the decoded (or aliased) component arrays of an artifact.
+type parts struct {
+	offs, adj []int32
+	prob      []float64
+	tris      []graph.Triangle
+	compOffs  []int32
+	compFlat  []int32
+	byTri     []int32
+}
+
+// hostLittleEndian reports whether the host stores integers little-endian —
+// the precondition for aliasing the on-disk arrays directly.
+var hostLittleEndian = func() bool {
+	v := uint32(1)
+	return *(*byte)(unsafe.Pointer(&v)) == 1
+}()
+
+// triangleAliasable reports whether graph.Triangle is laid out as three
+// consecutive int32s with no padding, exactly as the tris section stores
+// them. True on every Go platform in practice; checked rather than assumed.
+var triangleAliasable = unsafe.Sizeof(graph.Triangle{}) == 12 &&
+	unsafe.Offsetof(graph.Triangle{}.A) == 0 &&
+	unsafe.Offsetof(graph.Triangle{}.B) == 4 &&
+	unsafe.Offsetof(graph.Triangle{}.C) == 8
+
+func aliasInt32(data []byte, e tableEntry) []int32 {
+	if e.length == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&data[e.off])), e.length/4)
+}
+
+// aliasParts views the section bytes in place as the typed arrays — zero
+// copies. Callable only when hostLittleEndian && triangleAliasable; every
+// section offset is 8-byte aligned by construction, so the views are aligned.
+func aliasParts(data []byte, secs [numSections]tableEntry) parts {
+	var pt parts
+	pt.offs = aliasInt32(data, secs[secOffs-1])
+	pt.adj = aliasInt32(data, secs[secAdj-1])
+	if e := secs[secProb-1]; e.length > 0 {
+		pt.prob = unsafe.Slice((*float64)(unsafe.Pointer(&data[e.off])), e.length/8)
+	}
+	if e := secs[secTris-1]; e.length > 0 {
+		pt.tris = unsafe.Slice((*graph.Triangle)(unsafe.Pointer(&data[e.off])), e.length/12)
+	}
+	pt.compOffs = aliasInt32(data, secs[secCompOffs-1])
+	pt.compFlat = aliasInt32(data, secs[secCompFlat-1])
+	pt.byTri = aliasInt32(data, secs[secTriSort-1])
+	return pt
+}
+
+func decodeInt32(data []byte, e tableEntry) []int32 {
+	out := make([]int32, e.length/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(data[e.off+uint64(4*i):]))
+	}
+	return out
+}
+
+// decodeParts is the portable counterpart of aliasParts: fresh slices,
+// explicit little-endian element decoding.
+func decodeParts(data []byte, secs [numSections]tableEntry) parts {
+	var pt parts
+	pt.offs = decodeInt32(data, secs[secOffs-1])
+	pt.adj = decodeInt32(data, secs[secAdj-1])
+	e := secs[secProb-1]
+	pt.prob = make([]float64, e.length/8)
+	for i := range pt.prob {
+		pt.prob[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[e.off+uint64(8*i):]))
+	}
+	e = secs[secTris-1]
+	pt.tris = make([]graph.Triangle, e.length/12)
+	for i := range pt.tris {
+		p := data[e.off+uint64(12*i):]
+		pt.tris[i] = graph.Triangle{
+			A: int32(binary.LittleEndian.Uint32(p[0:])),
+			B: int32(binary.LittleEndian.Uint32(p[4:])),
+			C: int32(binary.LittleEndian.Uint32(p[8:])),
+		}
+	}
+	pt.compOffs = decodeInt32(data, secs[secCompOffs-1])
+	pt.compFlat = decodeInt32(data, secs[secCompFlat-1])
+	pt.byTri = decodeInt32(data, secs[secTriSort-1])
+	return pt
+}
+
+// csrFind returns the CSR position of v in u's adjacency list, or -1.
+func csrFind(offs, adj []int32, u, v int32) int {
+	lo, hi := int(offs[u]), int(offs[u+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(offs[u+1]) && adj[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// validateParts proves, in linear passes, the structural invariants that
+// make a Prepared assembled from the arrays memory-safe to query — no read
+// can leave its array: CSR offsets monotone, zero-based, and terminated at
+// the adjacency length; neighbor ids in range, strictly sorted, and
+// loop-free; probabilities in (0,1] (NaN excluded by the comparison);
+// triangle vertices ordered and in range; completion offsets monotone with
+// every flat entry a real vertex; and the lookup table a true permutation of
+// the triangle ids in strict lexicographic order. Semantic consistency
+// between sections — edge symmetry, triangle edges existing, completion
+// lists sorted, disjoint from their triangle, and closing 4-cliques — lives
+// in crossValidateParts, run only by LoadVerified: those violations can skew
+// results but not crash a kernel, and checksums already pin a file to
+// exactly what Save wrote, so the load hot path pays only for the bounds
+// proofs safety needs.
+func validateParts(pt parts, h header) error {
+	n, offs, adj, prob := int(h.nVerts), pt.offs, pt.adj, pt.prob
+	if offs[0] != 0 {
+		return badf("offsets start at %d, want 0", offs[0])
+	}
+	if int(offs[n]) != len(adj) {
+		return badf("offsets end at %d, adjacency has %d entries", offs[n], len(adj))
+	}
+	// Monotonicity must hold everywhere before any offset is trusted as a
+	// slice bound: with offs[0] = 0 and offs[n] = len(adj), it confines every
+	// entry to [0, len(adj)], so the adjacency scan below cannot run off the
+	// array even on hostile input.
+	for v := 0; v < n; v++ {
+		if offs[v+1] < offs[v] {
+			return badf("offsets not monotone at vertex %d", v)
+		}
+	}
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := offs[u], offs[u+1]
+		row, prow := adj[lo:hi], prob[lo:hi]
+		// prev starts at -1, so the strictly-sorted comparison also rejects
+		// negative ids; only the upper bound needs its own check.
+		prev := int32(-1)
+		for i, v := range row {
+			if v <= prev {
+				return badf("adjacency of vertex %d not strictly sorted in range", u)
+			}
+			if int(v) >= n {
+				return badf("vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return badf("self-loop on vertex %d", u)
+			}
+			prev = v
+			if p := prow[i]; !(p > 0 && p <= 1) { // NaN fails both comparisons
+				return badf("edge (%d,%d) has probability %v outside (0,1]", u, v, p)
+			}
+		}
+	}
+
+	tris, compOffs, compFlat := pt.tris, pt.compOffs, pt.compFlat
+	if compOffs[0] != 0 {
+		return badf("completion offsets start at %d, want 0", compOffs[0])
+	}
+	if int(compOffs[len(tris)]) != len(compFlat) {
+		return badf("completion offsets end at %d, flat list has %d entries", compOffs[len(tris)], len(compFlat))
+	}
+	// Same bounding argument as the CSR offsets: full monotonicity first, so
+	// the per-triangle scans cannot index past compFlat.
+	for i := range tris {
+		if compOffs[i+1] < compOffs[i] {
+			return badf("completion offsets not monotone at triangle %d", i)
+		}
+	}
+	// The flat completion array is the largest section on dense graphs, so the
+	// structural tier makes exactly one pass over it, proving the one property
+	// safety needs: every id indexes a real vertex (the unsigned compare
+	// catches negatives too). Per-segment ordering and disjointness from the
+	// owning triangle are semantic-consistency properties — they can skew
+	// results but not crash a kernel — and live in crossValidateParts with the
+	// other cross-section checks.
+	for j, z := range compFlat {
+		if uint32(z) >= uint32(n) {
+			return badf("completion entry %d out of range: %d", j, z)
+		}
+	}
+	for i, t := range tris {
+		if t.A < 0 || t.A >= t.B || t.B >= t.C || int(t.C) >= n {
+			return badf("triangle %d (%d,%d,%d) vertices not ordered in range", i, t.A, t.B, t.C)
+		}
+	}
+
+	// Ids in range plus strictly increasing triangle order is already a
+	// permutation proof: strict order forbids repeats, and len(byTri) distinct
+	// in-range ids cover every triangle. No marker array needed.
+	byTri := pt.byTri
+	for i, id := range byTri {
+		if id < 0 || int(id) >= len(tris) {
+			return badf("lookup table id %d out of range", id)
+		}
+		if i > 0 && tris[byTri[i-1]].Compare(tris[id]) >= 0 {
+			return badf("lookup table not in strict lexicographic order at position %d", i)
+		}
+	}
+	return nil
+}
+
+// crossValidateParts runs the semantic-consistency invariants that relate
+// sections to each other: every directed edge has a reverse entry with the
+// same probability, every triangle's three edges exist in the adjacency, and
+// every completion list is strictly sorted, disjoint from its triangle, and
+// closes 4-cliques. None of these can affect memory safety — validateParts
+// already bounds every index — and on large graphs they cost more than the
+// structural tier many times over, so only LoadVerified pays for them: the
+// point where a file of unknown provenance enters the system.
+func crossValidateParts(pt parts, h header) error {
+	n, offs, adj, prob := int(h.nVerts), pt.offs, pt.adj, pt.prob
+	for u := int32(0); int(u) < n; u++ {
+		for i := offs[u]; i < offs[u+1]; i++ {
+			v := adj[i]
+			if u < v {
+				j := csrFind(offs, adj, v, u)
+				if j < 0 {
+					return badf("edge (%d,%d) has no reverse entry", u, v)
+				}
+				if prob[i] != prob[j] {
+					return badf("edge (%d,%d) probability differs between directions", u, v)
+				}
+			}
+		}
+	}
+	for i, t := range pt.tris {
+		if csrFind(offs, adj, t.A, t.B) < 0 || csrFind(offs, adj, t.A, t.C) < 0 || csrFind(offs, adj, t.B, t.C) < 0 {
+			return badf("triangle %d (%d,%d,%d) has a missing edge", i, t.A, t.B, t.C)
+		}
+		prev := int32(-1)
+		for _, z := range pt.compFlat[pt.compOffs[i]:pt.compOffs[i+1]] {
+			if z <= prev {
+				return badf("completions of triangle %d not strictly sorted", i)
+			}
+			prev = z
+			if z == t.A || z == t.B || z == t.C {
+				return badf("triangle %d lists its own vertex %d as a completion", i, z)
+			}
+			if csrFind(offs, adj, z, t.A) < 0 || csrFind(offs, adj, z, t.B) < 0 || csrFind(offs, adj, z, t.C) < 0 {
+				return badf("completion %d of triangle %d does not close a 4-clique", z, i)
+			}
+		}
+	}
+	return nil
+}
+
+// assemble builds the Prepared from validated parts. The completion-list
+// headers are the only derived structure: slice views into the flat array,
+// one linear pass, no element copies. pin is retained by the Prepared (the
+// memory mapping on the zero-copy path, nil on the copying path).
+func assemble(pt parts, pin any) *core.Prepared {
+	comps := make([][]int32, len(pt.tris))
+	for i := range comps {
+		lo, hi := pt.compOffs[i], pt.compOffs[i+1]
+		comps[i] = pt.compFlat[lo:hi:hi]
+	}
+	ti := graph.IndexFromParts(pt.tris, comps, pt.byTri)
+	pg := probgraph.FromParts(pt.offs, pt.adj, pt.prob)
+	return core.NewPreparedFromParts(pg, ti, pin)
+}
+
+// Decode reconstructs a Prepared from an artifact image by copying — fresh
+// slices, explicit little-endian decoding, no aliasing of data. It applies
+// the same parse + structural-validation pipeline as Load and is the entry
+// point the fuzzer drives.
+func Decode(data []byte) (*core.Prepared, error) {
+	h, secs, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	pt := decodeParts(data, secs)
+	if err := validateParts(pt, h); err != nil {
+		return nil, err
+	}
+	return assemble(pt, nil), nil
+}
+
+// Load reads the artifact at path and reconstructs its Prepared, returning
+// the file size alongside. On little-endian platforms with mmap support the
+// file is mapped read-only and the returned Prepared's arrays alias the
+// mapping directly — load cost is the checksum and structural validation
+// scans, not allocation or copying — and the mapping is released by a
+// finalizer once the Prepared is unreachable. Elsewhere Load falls back to
+// reading and decoding the file. Either way the artifact passes three
+// checksum layers and the linear structural proofs before the Prepared is
+// returned: corrupt input yields an error wrapping ErrBadArtifact or
+// ErrArtifactVersion, never a panic. Files from outside the process's own
+// Save calls should go through LoadVerified instead.
+func Load(path string) (*core.Prepared, int64, error) {
+	return load(path, false)
+}
+
+// LoadVerified is Load plus the cross-reference invariants: edge symmetry
+// with matching probabilities, triangle edges present in the adjacency, and
+// completions closing 4-cliques. Checksums catch accidental corruption, so
+// Load suffices for artifacts this deployment wrote itself; LoadVerified is
+// for ingesting a file of unknown provenance, where a well-formed, correctly
+// checksummed artifact could still describe an index inconsistent with its
+// graph and silently skew query results.
+func LoadVerified(path string) (*core.Prepared, int64, error) {
+	return load(path, true)
+}
+
+func load(path string, deep bool) (*core.Prepared, int64, error) {
+	validate := func(pt parts, h header) error {
+		if err := validateParts(pt, h); err != nil {
+			return err
+		}
+		if deep {
+			return crossValidateParts(pt, h)
+		}
+		return nil
+	}
+	if m, err := mmapOpen(path); err == nil {
+		size := int64(len(m.data))
+		h, secs, perr := parse(m.data)
+		if perr != nil {
+			m.close()
+			return nil, 0, perr
+		}
+		if hostLittleEndian && triangleAliasable {
+			pt := aliasParts(m.data, secs)
+			if verr := validate(pt, h); verr != nil {
+				m.close()
+				return nil, 0, verr
+			}
+			runtime.SetFinalizer(m, (*mapping).close)
+			return assemble(pt, m), size, nil
+		}
+		pt := decodeParts(m.data, secs)
+		m.close()
+		if verr := validate(pt, h); verr != nil {
+			return nil, 0, verr
+		}
+		return assemble(pt, nil), size, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("artifact: load %s: %w", path, err)
+	}
+	h, secs, err := parse(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	pt := decodeParts(data, secs)
+	if err := validate(pt, h); err != nil {
+		return nil, 0, err
+	}
+	return assemble(pt, nil), int64(len(data)), nil
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package artifact
+
+// mapping exists on non-unix platforms only so Load compiles; mmapOpen
+// always declines and Load takes the copying fallback.
+type mapping struct {
+	data []byte
+}
+
+func mmapOpen(path string) (*mapping, error) { return nil, errMmapUnsupported }
+
+func (m *mapping) close() {}

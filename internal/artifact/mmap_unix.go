@@ -1,0 +1,49 @@
+//go:build unix
+
+package artifact
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only memory mapping of an artifact file. On the
+// zero-copy load path the Prepared's arrays alias m.data, so the mapping
+// object rides along as the Prepared's pin and a finalizer unmaps it when
+// both become unreachable.
+type mapping struct {
+	data []byte
+}
+
+// mmapOpen maps path read-only. Any failure — including an empty file,
+// which mmap cannot represent — sends Load down the copying fallback, where
+// the real error (or ErrBadArtifact) is produced with full context.
+func mmapOpen(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, errMmapUnsupported
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+// close releases the mapping. Idempotent: the finalizer and the error paths
+// may both reach it.
+func (m *mapping) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

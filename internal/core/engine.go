@@ -65,6 +65,13 @@ type NucleiRequest struct {
 	// results are byte-identical to the full-bank default (see
 	// MCOptions.Window).
 	Window int
+	// MemBudget, when positive and Window is zero, derives the window from a
+	// peak world-bank byte budget instead of a fixed world count — the shard
+	// streams through ⌊MemBudget/(⌈|E∪|/64⌉×8)⌋ worlds at a time (at least
+	// one), keeping the bank's peak allocation within the budget whenever a
+	// single world's mask row fits. Results are byte-identical either way
+	// (see MCOptions.MemBudget).
+	MemBudget int64
 	// Local optionally supplies a precomputed exact local decomposition at
 	// Theta to prune the search space; when nil it is computed per request.
 	Local *LocalResult
@@ -89,16 +96,17 @@ func (r NucleiRequest) Validate() error {
 // observer, and optional prepare-stage artifact.
 func (r NucleiRequest) mcOptions(pool *par.Pool, bank *mc.Bank, o obs.Observer, pre *Prepared) MCOptions {
 	return MCOptions{
-		Eps:      r.Eps,
-		Delta:    r.Delta,
-		Samples:  r.Samples,
-		Seed:     r.Seed,
-		Window:   r.Window,
-		Local:    r.Local,
-		Prepared: pre,
-		Pool:     pool,
-		Bank:     bank,
-		Obs:      o,
+		Eps:       r.Eps,
+		Delta:     r.Delta,
+		Samples:   r.Samples,
+		Seed:      r.Seed,
+		Window:    r.Window,
+		MemBudget: r.MemBudget,
+		Local:     r.Local,
+		Prepared:  pre,
+		Pool:      pool,
+		Bank:      bank,
+		Obs:       o,
 	}
 }
 

@@ -42,6 +42,13 @@ type MCOptions struct {
 	// streams; see mc.Bank.WorldMasksWindow). Zero (the default) or a value
 	// ≥ the sample count draws the full bank in one window.
 	Window int
+	// MemBudget, when positive and Window is zero, sizes the window
+	// adaptively from a peak world-bank byte budget instead of a fixed world
+	// count: the window becomes ⌊MemBudget / (⌈|E∪|/64⌉×8)⌋ worlds, clamped
+	// to at least one world, so the bank's peak allocation stays within the
+	// budget whenever a single world's mask row fits in it. An explicit
+	// Window wins over MemBudget; results are byte-identical either way.
+	MemBudget int64
 	// Workers bounds the worker pool for possible-world sampling and
 	// per-world evaluation: 0 (the default) means runtime.GOMAXPROCS, 1 runs
 	// fully serial. Worlds are drawn from chunk-derived PRNGs (see package
@@ -93,6 +100,9 @@ func (o MCOptions) validateSampleSpec() error {
 	if o.Window < 0 {
 		return fmt.Errorf("core: window = %d: %w", o.Window, ErrBadSampleSpec)
 	}
+	if o.MemBudget < 0 {
+		return fmt.Errorf("core: membudget = %d: %w", o.MemBudget, ErrBadSampleSpec)
+	}
 	if o.Samples == 0 {
 		if o.Eps != 0 && !(o.Eps > 0 && o.Eps <= 1) {
 			return fmt.Errorf("core: eps = %v: %w", o.Eps, ErrBadSampleSpec)
@@ -102,6 +112,33 @@ func (o MCOptions) validateSampleSpec() error {
 		}
 	}
 	return nil
+}
+
+// windowSize resolves the world window the shared bank streams through for a
+// run of n worlds over unionEdges union edges: an explicit Window when
+// positive, otherwise a window derived from the MemBudget byte budget (one
+// world's mask row is ⌈unionEdges/64⌉×8 bytes; the window is however many
+// rows the budget holds, but never fewer than one), otherwise — and whenever
+// the resolved window exceeds n — the full bank in one window.
+func (o MCOptions) windowSize(n, unionEdges int) int {
+	window := o.Window
+	if window == 0 && o.MemBudget > 0 {
+		words := int64(unionEdges+63) / 64
+		if words < 1 {
+			words = 1
+		}
+		w := o.MemBudget / (words * 8)
+		window = 1
+		if w > int64(n) {
+			window = n
+		} else if w > 1 {
+			window = int(w)
+		}
+	}
+	if window <= 0 || window > n {
+		window = n
+	}
+	return window
 }
 
 // worldBank resolves the reusable bank the shared world stream is drawn
@@ -139,14 +176,15 @@ func (o MCOptions) localResult(pg *probgraph.Graph, theta float64) (*LocalResult
 // the legacy Decomposer cross.
 func nucleiRequest(k int, theta float64, o MCOptions) NucleiRequest {
 	return NucleiRequest{
-		K:       k,
-		Theta:   theta,
-		Eps:     o.Eps,
-		Delta:   o.Delta,
-		Samples: o.Samples,
-		Seed:    o.Seed,
-		Window:  o.Window,
-		Local:   o.Local,
+		K:         k,
+		Theta:     theta,
+		Eps:       o.Eps,
+		Delta:     o.Delta,
+		Samples:   o.Samples,
+		Seed:      o.Seed,
+		Window:    o.Window,
+		MemBudget: o.MemBudget,
+		Local:     o.Local,
 	}
 }
 
@@ -231,10 +269,7 @@ func globalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOptions) ([]
 	// windows when opts.Window bounds the bank's peak memory.
 	union := appendTriangleEdges(nil, cand.ti, cand.triangles)
 	n := opts.sampleCount()
-	window := opts.Window
-	if window <= 0 || window > n {
-		window = n
-	}
+	window := opts.windowSize(n, len(union))
 	upg := pg.SubgraphOfEdges(union)
 	bank := opts.worldBank()
 	est := newGlobalEstimator(pool, cand.ti, pg.NumVertices(), union, n, theta)

@@ -23,6 +23,11 @@ import (
 type Prepared struct {
 	pg *probgraph.Graph
 	ti *graph.TriangleIndex
+	// pin, on artifacts loaded zero-copy from a file (internal/artifact),
+	// holds the memory mapping the graph and index slices alias, keeping it
+	// reachable — and therefore mapped — for exactly as long as the Prepared
+	// itself is.
+	pin any
 }
 
 // Graph returns the probabilistic graph the artifact was prepared from.
@@ -37,6 +42,22 @@ func (p *Prepared) Cliques() int { return p.ti.CliqueCount() }
 // Edges returns the canonical probabilistic edge list. The slice is shared
 // with the artifact and must not be mutated.
 func (p *Prepared) Edges() []probgraph.ProbEdge { return p.pg.Edges() }
+
+// Index returns the artifact's triangle index. The index is immutable and
+// must not be modified; the accessor exists for serializers
+// (internal/artifact) and read-only consumers.
+func (p *Prepared) Index() *graph.TriangleIndex { return p.ti }
+
+// NewPreparedFromParts assembles a Prepared from an already-built graph and
+// triangle index without enumerating anything — the constructor
+// internal/artifact's loader uses, which is why loading an artifact never
+// fires obs.IndexBuilt. pin, when non-nil, is retained for the lifetime of
+// the Prepared; loaders pass the memory mapping the slices alias so it
+// cannot be unmapped while the artifact is reachable. The caller promises pg
+// and ti describe the same graph.
+func NewPreparedFromParts(pg *probgraph.Graph, ti *graph.TriangleIndex, pin any) *Prepared {
+	return &Prepared{pg: pg, ti: ti, pin: pin}
+}
 
 // newPrepared builds the artifact on pool, firing obs.IndexBuilt on success
 // — the enumeration event cached paths are measured against.

@@ -73,21 +73,18 @@ func weaklyGlobalNuclei(pg *probgraph.Graph, k int, theta float64, opts MCOption
 		return nil, nil
 	}
 	n := opts.sampleCount()
-	window := opts.Window
-	if window <= 0 || window > n {
-		window = n
-	}
 	workers := pool.Workers()
 
 	// One shared world stream over the union of all candidate edges (every
 	// candidate is a subgraph of it), sampled as one flat bank of edge
 	// bitmasks — in one window by default, or streamed through fixed-size
-	// windows when opts.Window bounds the bank's peak memory. Each window's
-	// per-triangle loss counts are accumulated into persistent per-candidate
-	// totals; the totals are sums of the same integers the one-window run
-	// sums, so the scores — and the assembled nuclei — are byte-identical at
-	// every window size.
+	// windows when opts.Window or opts.MemBudget bounds the bank's peak
+	// memory. Each window's per-triangle loss counts are accumulated into
+	// persistent per-candidate totals; the totals are sums of the same
+	// integers the one-window run sums, so the scores — and the assembled
+	// nuclei — are byte-identical at every window size.
 	union := unionEdges(cands)
+	window := opts.windowSize(n, len(union))
 	upg := pg.SubgraphOfEdges(union)
 	bank := opts.worldBank()
 

@@ -191,6 +191,9 @@ func (o *Observer) CacheMiss()          { o.inner.CacheMiss() }
 func (o *Observer) CacheEvict()         { o.inner.CacheEvict() }
 func (o *Observer) CacheCoalesce()      { o.inner.CacheCoalesce() }
 
+func (o *Observer) ArtifactSaved(bytes int64, d time.Duration)  { o.inner.ArtifactSaved(bytes, d) }
+func (o *Observer) ArtifactLoaded(bytes int64, d time.Duration) { o.inner.ArtifactLoaded(bytes, d) }
+
 func (o *Observer) RequestFinished(s obs.Semantics, total time.Duration, failed bool) {
 	o.inner.RequestFinished(s, total, failed)
 }

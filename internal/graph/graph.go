@@ -265,6 +265,12 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// CSR exposes the graph's raw CSR arrays: offs has length n+1 and the sorted
+// adjacency of vertex v is adj[offs[v]:offs[v+1]]. Both slices alias the
+// graph's storage and must not be modified — the accessor exists so
+// serializers (internal/artifact) can write the arrays out without copying.
+func (g *Graph) CSR() (offs, adj []int32) { return g.offs, g.adj }
+
 // FromCSR builds a Graph directly from its CSR arrays: offs has length n+1
 // and adj holds the sorted adjacency of vertex v at adj[offs[v]:offs[v+1]].
 // The caller promises the usual invariants (symmetric, simple, sorted lists)

@@ -191,6 +191,12 @@ func (g *Graph) degeneracyRank() []int32 {
 type TriangleIndex struct {
 	Tris []Triangle
 	ids  map[Triangle]int32
+	// byTri, on map-free root indexes (loaded artifacts), is the
+	// permutation of triangle ids in lexicographic (A, B, C) order: ID
+	// answers lookups by binary search over it instead of through the ids
+	// map. Exactly one of ids/byTri is set on a root index; the lookup
+	// results are identical either way.
+	byTri []int32
 	// Comps[t] lists the completion vertices of triangle t in increasing
 	// order; {t.A, t.B, t.C, z} is a 4-clique of the graph for each z.
 	Comps [][]int32
@@ -199,6 +205,43 @@ type TriangleIndex struct {
 	// view).
 	parent *TriangleIndex
 	subID  []int32
+}
+
+// Compare orders triangles lexicographically by (A, B, C), returning a
+// negative, zero, or positive value as t sorts before, equal to, or after u.
+func (t Triangle) Compare(u Triangle) int {
+	switch {
+	case t.A != u.A:
+		return int(t.A) - int(u.A)
+	case t.B != u.B:
+		return int(t.B) - int(u.B)
+	default:
+		return int(t.C) - int(u.C)
+	}
+}
+
+// SortedIDs returns the triangle ids permuted into lexicographic (A, B, C)
+// triangle order — the lookup table IndexFromParts accepts in place of the
+// hash map, precomputed at serialization time so a loaded index answers ID
+// by binary search without rebuilding a map.
+func (ti *TriangleIndex) SortedIDs() []int32 {
+	ids := make([]int32, len(ti.Tris))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	slices.SortFunc(ids, func(a, b int32) int { return ti.Tris[a].Compare(ti.Tris[b]) })
+	return ids
+}
+
+// IndexFromParts assembles a root TriangleIndex directly from its component
+// arrays: tris in id order, comps aligned with tris, and byTri the
+// lexicographic id permutation (as produced by SortedIDs). No hash map is
+// built — ID answers by binary search over byTri — and the slices are taken
+// by reference, so callers may back them with a read-only mapping
+// (internal/artifact's zero-copy loader). Nothing is validated; the caller
+// promises tris/comps/byTri are mutually consistent.
+func IndexFromParts(tris []Triangle, comps [][]int32, byTri []int32) *TriangleIndex {
+	return &TriangleIndex{Tris: tris, Comps: comps, byTri: byTri}
 }
 
 // NewTriangleIndex enumerates the triangles of g, assigns ids, and computes
@@ -359,7 +402,9 @@ func newTriangleIndexTwoPass(g *Graph, pool *par.Pool) *TriangleIndex {
 func (ti *TriangleIndex) Len() int { return len(ti.Tris) }
 
 // ID returns the id of triangle t and whether it exists. Views translate
-// through their parent index, so no per-view hash map is ever built.
+// through their parent index, so no per-view hash map is ever built; root
+// indexes answer from their hash map, or — when loaded from an artifact —
+// by binary search over the lexicographic id permutation.
 func (ti *TriangleIndex) ID(t Triangle) (int32, bool) {
 	if ti.parent != nil {
 		pid, ok := ti.parent.ID(t)
@@ -369,8 +414,23 @@ func (ti *TriangleIndex) ID(t Triangle) (int32, bool) {
 		id := ti.subID[pid]
 		return id, id >= 0
 	}
-	id, ok := ti.ids[t]
-	return id, ok
+	if ti.ids != nil {
+		id, ok := ti.ids[t]
+		return id, ok
+	}
+	lo, hi := 0, len(ti.byTri)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ti.Tris[ti.byTri[mid]].Compare(t) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ti.byTri) && ti.Tris[ti.byTri[lo]] == t {
+		return ti.byTri[lo], true
+	}
+	return 0, false
 }
 
 // SubIndexScratch holds the reusable buffers behind TriangleIndex.SubIndex.

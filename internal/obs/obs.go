@@ -150,6 +150,14 @@ type Observer interface {
 	// CacheCoalesce: a registry lookup joined an identical in-flight compute
 	// instead of duplicating it (singleflight).
 	CacheCoalesce()
+	// ArtifactSaved: one prepared artifact of `bytes` bytes was serialized to
+	// disk in wall-clock time d (internal/artifact.Save, fired by the registry
+	// persistence layer and the CLI).
+	ArtifactSaved(bytes int64, d time.Duration)
+	// ArtifactLoaded: one prepared artifact of `bytes` bytes was reconstructed
+	// from disk in d — the cold-start path that replaces triangle enumeration,
+	// so load latency versus Prepare time is the warm-start win.
+	ArtifactLoaded(bytes int64, d time.Duration)
 }
 
 // NopObserver implements Observer with no-ops; embed it to observe a subset
@@ -172,6 +180,8 @@ func (NopObserver) CacheHit()                                      {}
 func (NopObserver) CacheMiss()                                     {}
 func (NopObserver) CacheEvict()                                    {}
 func (NopObserver) CacheCoalesce()                                 {}
+func (NopObserver) ArtifactSaved(int64, time.Duration)             {}
+func (NopObserver) ArtifactLoaded(int64, time.Duration)            {}
 
 // histBuckets is the histogram resolution: bucket b counts durations in
 // [2^(b-1), 2^b) nanoseconds, so 40 buckets span sub-ns to ~9 minutes.
@@ -328,6 +338,13 @@ type Metrics struct {
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
 	cacheCoalesced atomic.Int64
+
+	artifactSaves     atomic.Int64
+	artifactSaveBytes atomic.Int64
+	artifactSaveLat   Histogram
+	artifactLoads     atomic.Int64
+	artifactLoadBytes atomic.Int64
+	artifactLoadLat   Histogram
 }
 
 var _ Observer = (*Metrics)(nil)
@@ -423,6 +440,23 @@ func (m *Metrics) CacheEvict() { m.cacheEvictions.Add(1) }
 
 func (m *Metrics) CacheCoalesce() { m.cacheCoalesced.Add(1) }
 
+func (m *Metrics) ArtifactSaved(bytes int64, d time.Duration) {
+	m.artifactSaves.Add(1)
+	m.artifactSaveBytes.Add(bytes)
+	m.artifactSaveLat.Observe(d)
+}
+
+func (m *Metrics) ArtifactLoaded(bytes int64, d time.Duration) {
+	m.artifactLoads.Add(1)
+	m.artifactLoadBytes.Add(bytes)
+	m.artifactLoadLat.Observe(d)
+}
+
+// ArtifactLoads returns the number of artifacts loaded from disk so far —
+// the warm-start counter tests pair with IndexBuilds to prove loads replace
+// enumeration rather than adding to it.
+func (m *Metrics) ArtifactLoads() int64 { return m.artifactLoads.Load() }
+
 // IndexBuilds returns the number of triangle indexes enumerated from scratch
 // so far — the counter registry differentials freeze to prove cached paths
 // skip enumeration entirely.
@@ -474,6 +508,16 @@ type Snapshot struct {
 	CacheMisses    int64 `json:"cacheMisses"`
 	CacheEvictions int64 `json:"cacheEvictions"`
 	CacheCoalesced int64 `json:"cacheCoalesced"`
+
+	// Artifact persistence: counts, cumulative bytes, and wall-clock latency
+	// of prepared-artifact saves and loads (internal/artifact). Load latency
+	// against the prepare latency above is the cold-start speedup.
+	ArtifactSaves       int64             `json:"artifactSaves"`
+	ArtifactSavedBytes  int64             `json:"artifactSavedBytes"`
+	ArtifactSaveLatency HistogramSnapshot `json:"artifactSaveLatency"`
+	ArtifactLoads       int64             `json:"artifactLoads"`
+	ArtifactLoadedBytes int64             `json:"artifactLoadedBytes"`
+	ArtifactLoadLatency HistogramSnapshot `json:"artifactLoadLatency"`
 }
 
 // Snapshot copies the metrics' current state. Counters are read
@@ -499,6 +543,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:       m.cacheMisses.Load(),
 		CacheEvictions:    m.cacheEvictions.Load(),
 		CacheCoalesced:    m.cacheCoalesced.Load(),
+
+		ArtifactSaves:       m.artifactSaves.Load(),
+		ArtifactSavedBytes:  m.artifactSaveBytes.Load(),
+		ArtifactSaveLatency: m.artifactSaveLat.Snapshot(),
+		ArtifactLoads:       m.artifactLoads.Load(),
+		ArtifactLoadedBytes: m.artifactLoadBytes.Load(),
+		ArtifactLoadLatency: m.artifactLoadLat.Snapshot(),
 	}
 	for sem := Semantics(0); sem < NumSemantics; sem++ {
 		st := &m.req[sem]

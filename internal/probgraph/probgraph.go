@@ -101,6 +101,34 @@ func (pg *Graph) ProbAt(idx int) float64 { return pg.prob[idx] }
 // and must not be modified.
 func (pg *Graph) Edges() []ProbEdge { return pg.edges }
 
+// Probs exposes the raw per-directed-edge probability array, parallel to the
+// CSR adjacency (see graph.Graph.CSR). The slice aliases the graph's storage
+// and must not be modified — the accessor exists so serializers
+// (internal/artifact) can write it out without copying.
+func (pg *Graph) Probs() []float64 { return pg.prob }
+
+// FromParts assembles a probabilistic graph directly from its CSR arrays:
+// offs/adj as graph.FromCSR takes them, and prob parallel to adj. The slices
+// are taken by reference — they may be backed by a read-only mapping
+// (internal/artifact's zero-copy loader) — and nothing is validated; the
+// caller promises the usual invariants (symmetric simple sorted adjacency,
+// probabilities in (0,1], prob symmetric across the two directed entries).
+// The canonical edge cache is derived in one linear CSR walk, without the
+// per-edge binary searches of the Builder path.
+func FromParts(offs, adj []int32, prob []float64) *Graph {
+	g := graph.FromCSR(offs, adj)
+	pg := &Graph{G: g, prob: prob}
+	pg.edges = make([]ProbEdge, 0, g.NumEdges())
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for i := offs[u]; i < offs[u+1]; i++ {
+			if v := adj[i]; u < v {
+				pg.edges = append(pg.edges, ProbEdge{U: u, V: v, P: prob[i]})
+			}
+		}
+	}
+	return pg
+}
+
 // AvgProb returns the mean edge probability, or 0 for an edgeless graph.
 func (pg *Graph) AvgProb() float64 {
 	if pg.NumEdges() == 0 {

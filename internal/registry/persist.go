@@ -1,0 +1,221 @@
+package registry
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"probnucleus/internal/artifact"
+)
+
+// artifactExt is the on-disk extension of prepared-graph artifacts
+// (internal/artifact's "PBNUCART" format).
+const artifactExt = ".pna"
+
+// WithArtifactDir makes the registry durable across restarts: every Put/Add
+// persists the graph's prepared artifact into dir (and purges the name's
+// stale versions), Delete removes the name's files, and construction
+// warm-starts by loading the highest persisted version of every name found
+// in dir — so a restarted server serves its graphs without re-enumerating a
+// single triangle. Warm start is best-effort cache semantics: files that
+// fail to load (truncated by a crash, foreign junk in the directory) are
+// skipped, never fatal, because every artifact can be rebuilt from its
+// source graph.
+func WithArtifactDir(dir string) Option {
+	return func(r *Registry) { r.dir = dir }
+}
+
+// artifactFileName is the persisted name of one graph version:
+// <url.QueryEscape(name)>.v<version>.pna. Query-escaping keeps arbitrary
+// tenant names filesystem-safe and reversible; the version in the name is
+// what lets warm start pick the latest registration and lets replacement
+// persist before the stale file is unlinked.
+func artifactFileName(name string, version int64) string {
+	return url.QueryEscape(name) + ".v" + strconv.FormatInt(version, 10) + artifactExt
+}
+
+// parseArtifactFileName inverts artifactFileName; ok is false for files that
+// are not persisted artifacts.
+func parseArtifactFileName(base string) (name string, version int64, ok bool) {
+	rest, found := strings.CutSuffix(base, artifactExt)
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndex(rest, ".v")
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseInt(rest[i+2:], 10, 64)
+	if err != nil || v < 1 {
+		return "", 0, false
+	}
+	n, err := url.QueryUnescape(rest[:i])
+	if err != nil || n == "" {
+		return "", 0, false
+	}
+	return n, v, true
+}
+
+// warmStart loads the highest persisted version of every name in r.dir into
+// the graph table. Runs at construction, before the registry is shared, so
+// no locking; unloadable files are skipped (see WithArtifactDir).
+func (r *Registry) warmStart() {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	type found struct {
+		version int64
+		path    string
+	}
+	best := make(map[string]found)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, ver, ok := parseArtifactFileName(e.Name())
+		if !ok {
+			continue
+		}
+		if b, exists := best[name]; !exists || ver > b.version {
+			best[name] = found{version: ver, path: filepath.Join(r.dir, e.Name())}
+		}
+	}
+	for name, b := range best {
+		start := time.Now()
+		pre, bytes, err := artifact.Load(b.path)
+		if err != nil {
+			continue
+		}
+		if r.obs != nil {
+			r.obs.ArtifactLoaded(bytes, time.Since(start))
+		}
+		r.graphs[name] = &graphEntry{pre: pre, version: b.version}
+	}
+}
+
+// persist writes g's artifact under r.dir and unlinks the name's other
+// versions. It re-checks that g is still the current registration under the
+// name before touching the filesystem, so racing Put/Delete calls converge
+// on the latest registration's file no matter how their persists interleave
+// — a superseded registration's persist is a no-op, never a resurrection.
+func (r *Registry) persist(name string, g *graphEntry) error {
+	r.fsMu.Lock()
+	defer r.fsMu.Unlock()
+	r.mu.Lock()
+	cur, ok := r.graphs[name]
+	r.mu.Unlock()
+	if !ok || cur != g {
+		return nil
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return fmt.Errorf("registry: persist %q: %w", name, err)
+	}
+	start := time.Now()
+	n, err := artifact.Save(filepath.Join(r.dir, artifactFileName(name, g.version)), g.pre)
+	if err != nil {
+		return fmt.Errorf("registry: persist %q: %w", name, err)
+	}
+	if r.obs != nil {
+		r.obs.ArtifactSaved(n, time.Since(start))
+	}
+	r.removeArtifactsLocked(name, g.version)
+	return nil
+}
+
+// removeArtifactsLocked unlinks every persisted version of name except
+// keepVersion (0 keeps nothing). Caller holds r.fsMu.
+func (r *Registry) removeArtifactsLocked(name string, keepVersion int64) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n, v, ok := parseArtifactFileName(e.Name())
+		if ok && n == name && v != keepVersion {
+			_ = os.Remove(filepath.Join(r.dir, e.Name()))
+		}
+	}
+}
+
+// PutArtifact registers the prepared artifact stored at path under name —
+// the warm ingestion path: no source edges, no enumeration, just the
+// artifact loader's checksum and invariant verification. The file is of
+// unknown provenance here, so the deep cross-reference tier (LoadVerified)
+// runs once at ingest; warm starts from the registry's own directory use the
+// fast structural loader. Like Put it replaces an existing graph under the
+// name, bumping the version and purging cached results, and persists into
+// the artifact dir when one is configured (skipping the copy when path
+// already is the destination file).
+func (r *Registry) PutArtifact(name, path string) (GraphHandle, error) {
+	if name == "" {
+		return GraphHandle{}, fmt.Errorf("registry: empty graph name")
+	}
+	start := time.Now()
+	pre, bytes, err := artifact.LoadVerified(path)
+	if err != nil {
+		return GraphHandle{}, err
+	}
+	if r.obs != nil {
+		r.obs.ArtifactLoaded(bytes, time.Since(start))
+	}
+	r.mu.Lock()
+	ver := int64(1)
+	if old, ok := r.graphs[name]; ok {
+		ver = old.version + 1
+		r.purgeLocked(name)
+	}
+	g := &graphEntry{pre: pre, version: ver}
+	r.graphs[name] = g
+	h := handleOf(name, g)
+	r.mu.Unlock()
+	if r.dir != "" && !samePath(path, filepath.Join(r.dir, artifactFileName(name, ver))) {
+		if err := r.persist(name, g); err != nil {
+			return GraphHandle{}, err
+		}
+	}
+	return h, nil
+}
+
+// samePath reports whether a and b name the same existing file.
+func samePath(a, b string) bool {
+	sa, errA := os.Stat(a)
+	sb, errB := os.Stat(b)
+	return errA == nil && errB == nil && os.SameFile(sa, sb)
+}
+
+// Snapshot saves every registered graph's current artifact into dir (created
+// if needed), named exactly as the artifact dir would name them — a portable
+// backup, or the seed for another registry's WithArtifactDir warm start.
+func (r *Registry) Snapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("registry: snapshot: %w", err)
+	}
+	type item struct {
+		name string
+		g    *graphEntry
+	}
+	r.mu.Lock()
+	items := make([]item, 0, len(r.graphs))
+	for name, g := range r.graphs {
+		items = append(items, item{name: name, g: g})
+	}
+	r.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	for _, it := range items {
+		start := time.Now()
+		n, err := artifact.Save(filepath.Join(dir, artifactFileName(it.name, it.g.version)), it.g.pre)
+		if err != nil {
+			return fmt.Errorf("registry: snapshot %q: %w", it.name, err)
+		}
+		if r.obs != nil {
+			r.obs.ArtifactSaved(n, time.Since(start))
+		}
+	}
+	return nil
+}

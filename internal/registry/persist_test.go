@@ -1,0 +1,306 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"probnucleus/internal/artifact"
+	"probnucleus/internal/core"
+	"probnucleus/internal/fixtures"
+	"probnucleus/internal/obs"
+)
+
+// dirArtifacts lists the persisted (name, version) pairs in dir.
+func dirArtifacts(t *testing.T, dir string) map[string]int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64)
+	for _, e := range entries {
+		name, ver, ok := parseArtifactFileName(e.Name())
+		if !ok {
+			t.Fatalf("unexpected file %q in artifact dir", e.Name())
+		}
+		if prev, dup := out[name]; dup {
+			t.Fatalf("artifact dir holds two versions of %q (%d and %d) — stale file not purged", name, prev, ver)
+		}
+		out[name] = ver
+	}
+	return out
+}
+
+func TestArtifactFileNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"fig1", "tenant/graph", "has space", "v.1", "%2F", "ünïcode"} {
+		base := artifactFileName(name, 42)
+		got, ver, ok := parseArtifactFileName(base)
+		if !ok || got != name || ver != 42 {
+			t.Errorf("parse(%q) = %q,%d,%v, want %q,42,true", base, got, ver, ok, name)
+		}
+	}
+	for _, junk := range []string{"readme.txt", "x.pna", ".v3.pna", "g.vx.pna", "g.v0.pna", "g.v-1.pna"} {
+		if _, _, ok := parseArtifactFileName(junk); ok {
+			t.Errorf("parse(%q) accepted, want rejected", junk)
+		}
+	}
+}
+
+// TestPersistChurn drives Put/Delete/Put-same-name cycles against an
+// artifact dir and checks the invariant after every step: the directory
+// holds exactly one file per live graph, at the live version. ci.sh runs
+// this under -race.
+func TestPersistChurn(t *testing.T) {
+	dir := t.TempDir()
+	reg, _, _ := newTestRegistry(t, WithArtifactDir(dir))
+	ctx := context.Background()
+
+	if _, err := reg.Put(ctx, "a", fixtures.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"a": 1}) {
+		t.Fatalf("after first Put: %v, want a@1", got)
+	}
+
+	// Replacement bumps the persisted version and purges the stale file.
+	if _, err := reg.Put(ctx, "a", fixtures.Fig2aNucleus()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"a": 2}) {
+		t.Fatalf("after replacing Put: %v, want a@2", got)
+	}
+
+	if _, err := reg.Add(ctx, "b", fixtures.Fig3cK5()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"a": 2, "b": 1}) {
+		t.Fatalf("after Add: %v, want a@2 b@1", got)
+	}
+
+	// Delete unlinks the name's files.
+	if err := reg.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"b": 1}) {
+		t.Fatalf("after Delete: %v, want only b@1", got)
+	}
+
+	// Re-registering a deleted name starts over at version 1.
+	if h, err := reg.Put(ctx, "a", fixtures.Fig1()); err != nil || h.Version != 1 {
+		t.Fatalf("Put after Delete: %+v (%v), want version 1", h, err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"a": 1, "b": 1}) {
+		t.Fatalf("after re-Put: %v, want a@1 b@1", got)
+	}
+}
+
+// TestPersistConcurrentChurn hammers one name with concurrent Put/Delete
+// cycles plus a second stable name, then verifies the directory converged to
+// exactly the live registrations. Meaningful chiefly under -race (ci.sh):
+// the fsMu serialization and the persist staleness re-check are the code
+// under test.
+func TestPersistConcurrentChurn(t *testing.T) {
+	dir := t.TempDir()
+	reg, _, _ := newTestRegistry(t, WithArtifactDir(dir))
+	ctx := context.Background()
+	if _, err := reg.Put(ctx, "stable", fixtures.Fig3cK5()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, err := reg.Put(ctx, "churn", fixtures.Fig1()); err != nil {
+					t.Error(err)
+				}
+				_ = reg.Delete("churn") // racing deletes may miss; that's fine
+			}
+		}()
+	}
+	wg.Wait()
+	// Converge: leave the name present at a known final version.
+	h, err := reg.Put(ctx, "churn", fixtures.Fig2aNucleus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dirArtifacts(t, dir)
+	if len(got) != 2 || got["stable"] != 1 || got["churn"] != h.Version {
+		t.Fatalf("after churn: %v, want stable@1 churn@%d", got, h.Version)
+	}
+}
+
+// TestWarmStart: a fresh registry over the same artifact dir serves the
+// persisted graphs — latest version, correct handles, identical query
+// results, and zero triangle enumerations (the warm start loads, never
+// rebuilds).
+func TestWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reg1, _, _ := newTestRegistry(t, WithArtifactDir(dir))
+	if _, err := reg1.Put(ctx, "fig1", fixtures.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg1.Put(ctx, "fig1", fixtures.Fig1()); err != nil { // bump to v2
+		t.Fatal(err)
+	}
+	if _, err := reg1.Put(ctx, "k5", fixtures.Fig3cK5()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := reg1.Local(ctx, "fig1", core.LocalRequest{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Foreign junk and a corrupt artifact in the dir must be skipped, not
+	// fatal, and must not shadow the good files.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, artifactFileName("broken", 1)), []byte("PBNUCART garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := new(obs.Metrics)
+	eng := core.NewEngine(1, 1, core.WithObserver(m))
+	t.Cleanup(eng.Close)
+	reg2 := New(eng, WithObserver(m), WithArtifactDir(dir))
+
+	hs := reg2.List()
+	if len(hs) != 2 {
+		t.Fatalf("warm start registered %d graphs (%v), want 2", len(hs), hs)
+	}
+	h, err := reg2.Get("fig1")
+	if err != nil || h.Version != 2 {
+		t.Fatalf("warm-started fig1 = %+v (%v), want version 2", h, err)
+	}
+	if _, err := reg2.Get("broken"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("corrupt artifact was registered: %v", err)
+	}
+	got, err := reg2.Local(ctx, "fig1", core.LocalRequest{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Nucleusness, want.Nucleusness) {
+		t.Fatal("warm-started graph answers differently from the original")
+	}
+	if builds := m.IndexBuilds(); builds != 0 {
+		t.Fatalf("warm start enumerated %d indexes, want 0", builds)
+	}
+	if loads := m.ArtifactLoads(); loads != 2 {
+		t.Fatalf("warm start loaded %d artifacts, want 2", loads)
+	}
+}
+
+// TestPutArtifact: registering straight from an artifact file skips
+// enumeration, replaces like Put (version bump, cache purge), rejects
+// corrupt files with the loader's typed error, and persists into the
+// configured dir.
+func TestPutArtifact(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "fig1.pna")
+	pre, err := core.Prepare(fixtures.Fig1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.Save(src, pre); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	reg, _, m := newTestRegistry(t, WithArtifactDir(dir))
+	ctx := context.Background()
+	h, err := reg.PutArtifact("fig1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 1 || h.Triangles != pre.Triangles() {
+		t.Fatalf("PutArtifact handle = %+v, want version 1, %d triangles", h, pre.Triangles())
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"fig1": 1}) {
+		t.Fatalf("PutArtifact persisted %v, want fig1@1", got)
+	}
+	if builds := m.IndexBuilds(); builds != 0 {
+		t.Fatalf("PutArtifact enumerated %d indexes, want 0", builds)
+	}
+	if _, err := reg.Local(ctx, "fig1", core.LocalRequest{Theta: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if builds := m.IndexBuilds(); builds != 0 {
+		t.Fatalf("queries after PutArtifact enumerated %d indexes, want 0", builds)
+	}
+
+	// Replacement bumps the version like Put.
+	if h, err := reg.PutArtifact("fig1", src); err != nil || h.Version != 2 {
+		t.Fatalf("replacing PutArtifact = %+v (%v), want version 2", h, err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"fig1": 2}) {
+		t.Fatalf("after replacing PutArtifact: %v, want fig1@2", got)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.pna")
+	if err := os.WriteFile(bad, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PutArtifact("x", bad); !errors.Is(err, artifact.ErrBadArtifact) {
+		t.Fatalf("PutArtifact on junk: %v, want ErrBadArtifact", err)
+	}
+	if _, err := reg.PutArtifact("", src); err == nil {
+		t.Fatal("PutArtifact with empty name succeeded")
+	}
+}
+
+// TestSnapshot: Snapshot writes every live graph into a fresh dir, and a
+// registry warm-started from that dir serves the same graphs.
+func TestSnapshot(t *testing.T) {
+	reg, _, _ := newTestRegistry(t) // no artifact dir: snapshot works regardless
+	ctx := context.Background()
+	if _, err := reg.Put(ctx, "fig1", fixtures.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put(ctx, "k5", fixtures.Fig3cK5()); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := reg.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirArtifacts(t, dir); !reflect.DeepEqual(got, map[string]int64{"fig1": 1, "k5": 1}) {
+		t.Fatalf("snapshot wrote %v, want fig1@1 k5@1", got)
+	}
+	reg2, _, _ := newTestRegistry(t, WithArtifactDir(dir))
+	if got := len(reg2.List()); got != 2 {
+		t.Fatalf("registry warm-started from snapshot has %d graphs, want 2", got)
+	}
+}
+
+// TestPersistObsCounters: saves and loads surface in Metrics.Snapshot with
+// byte and latency accounting.
+func TestPersistObsCounters(t *testing.T) {
+	dir := t.TempDir()
+	reg, _, m := newTestRegistry(t, WithArtifactDir(dir))
+	if _, err := reg.Put(context.Background(), "fig1", fixtures.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.ArtifactSaves != 1 || s.ArtifactSavedBytes == 0 || s.ArtifactSaveLatency.Count != 1 {
+		t.Fatalf("after persisting Put: saves=%d bytes=%d latCount=%d, want 1/nonzero/1",
+			s.ArtifactSaves, s.ArtifactSavedBytes, s.ArtifactSaveLatency.Count)
+	}
+	reg2, _, m2 := newTestRegistry(t, WithArtifactDir(dir))
+	if got := len(reg2.List()); got != 1 {
+		t.Fatalf("warm start has %d graphs, want 1", got)
+	}
+	s2 := m2.Snapshot()
+	if s2.ArtifactLoads != 1 || s2.ArtifactLoadedBytes != s.ArtifactSavedBytes || s2.ArtifactLoadLatency.Count != 1 {
+		t.Fatalf("after warm start: loads=%d bytes=%d latCount=%d, want 1/%d/1",
+			s2.ArtifactLoads, s2.ArtifactLoadedBytes, s2.ArtifactLoadLatency.Count, s.ArtifactSavedBytes)
+	}
+	_ = fmt.Sprintf("%v", s2) // snapshots must be printable/JSON-able shapes
+}

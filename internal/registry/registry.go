@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -111,6 +112,12 @@ type Registry struct {
 	eng *core.Engine
 	obs obs.Observer
 	cap int
+	dir string // artifact persistence dir; "" = in-memory only
+
+	// fsMu serializes artifact-file writes and unlinks under dir, so
+	// concurrent Put/Delete churn cannot interleave a superseded version's
+	// save after the current version's cleanup.
+	fsMu sync.Mutex
 
 	mu      sync.Mutex
 	graphs  map[string]*graphEntry
@@ -137,13 +144,20 @@ func New(eng *core.Engine, opts ...Option) *Registry {
 	for _, opt := range opts {
 		opt(r)
 	}
+	if r.dir != "" {
+		_ = os.MkdirAll(r.dir, 0o755)
+		r.warmStart()
+	}
 	return r
 }
 
 // Put registers pg under name, preparing its artifact on an engine shard.
 // An existing graph under the same name is replaced: its version is bumped
 // and its cached results purged, while queries already holding the old
-// artifact finish against it undisturbed.
+// artifact finish against it undisturbed. With an artifact dir configured
+// the new version is persisted (and the replaced version's file unlinked)
+// before Put returns; a persistence failure is returned as the error, with
+// the in-memory registration already in effect.
 func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (GraphHandle, error) {
 	if name == "" {
 		return GraphHandle{}, fmt.Errorf("registry: empty graph name")
@@ -153,7 +167,6 @@ func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (G
 		return GraphHandle{}, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	ver := int64(1)
 	if old, ok := r.graphs[name]; ok {
 		ver = old.version + 1
@@ -161,7 +174,14 @@ func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (G
 	}
 	g := &graphEntry{pre: pre, version: ver}
 	r.graphs[name] = g
-	return handleOf(name, g), nil
+	h := handleOf(name, g)
+	r.mu.Unlock()
+	if r.dir != "" {
+		if err := r.persist(name, g); err != nil {
+			return GraphHandle{}, err
+		}
+	}
+	return h, nil
 }
 
 // Add registers pg under a fresh name, failing with ErrDuplicateGraph when
@@ -182,14 +202,21 @@ func (r *Registry) Add(ctx context.Context, name string, pg *probgraph.Graph) (G
 		return GraphHandle{}, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, taken := r.graphs[name]; taken {
 		// A racing Add won while we prepared; first writer wins.
+		r.mu.Unlock()
 		return GraphHandle{}, fmt.Errorf("registry: %q: %w", name, ErrDuplicateGraph)
 	}
 	g := &graphEntry{pre: pre, version: 1}
 	r.graphs[name] = g
-	return handleOf(name, g), nil
+	h := handleOf(name, g)
+	r.mu.Unlock()
+	if r.dir != "" {
+		if err := r.persist(name, g); err != nil {
+			return GraphHandle{}, err
+		}
+	}
+	return h, nil
 }
 
 // Get returns the handle of a registered graph.
@@ -203,16 +230,23 @@ func (r *Registry) Get(name string) (GraphHandle, error) {
 	return handleOf(name, g), nil
 }
 
-// Delete removes a registered graph and purges its cached results. Queries
-// already running against its artifact finish undisturbed.
+// Delete removes a registered graph, purges its cached results, and — with
+// an artifact dir configured — unlinks its persisted files. Queries already
+// running against its artifact finish undisturbed.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.graphs[name]; !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: %q: %w", name, ErrUnknownGraph)
 	}
 	delete(r.graphs, name)
 	r.purgeLocked(name)
+	r.mu.Unlock()
+	if r.dir != "" {
+		r.fsMu.Lock()
+		r.removeArtifactsLocked(name, 0)
+		r.fsMu.Unlock()
+	}
 	return nil
 }
 

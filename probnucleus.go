@@ -56,6 +56,7 @@ package probnucleus
 import (
 	"io"
 
+	"probnucleus/internal/artifact"
 	"probnucleus/internal/core"
 	"probnucleus/internal/dataset"
 	"probnucleus/internal/decomp"
@@ -272,6 +273,49 @@ type Prepared = core.Prepared
 // path.
 func Prepare(pg *Graph, workers int) (*Prepared, error) { return core.Prepare(pg, workers) }
 
+// SaveArtifact persists a Prepared to path in the versioned "PBNUCART"
+// binary format: the CSR probabilistic graph and the triangle index laid out
+// as aligned little-endian sections behind checksummed headers, written
+// atomically (temp file + rename). It returns the byte size written. A saved
+// artifact loads with zero triangle-index rebuilds and yields byte-identical
+// results for all three semantics (see the README's Persistent artifacts
+// section).
+func SaveArtifact(path string, pre *Prepared) (int64, error) { return artifact.Save(path, pre) }
+
+// LoadArtifact reads a persisted prepared artifact back, memory-mapping and
+// aliasing its sections without copying where the platform allows (falling
+// back to a validating copy elsewhere), and returns the artifact plus its
+// file size. Every load verifies checksums and structural invariants:
+// corrupt or truncated files fail with an error matching ErrBadArtifact, and
+// files from a different format version with ErrArtifactVersion — never a
+// panic. For a file this deployment did not write itself, use
+// LoadArtifactVerified.
+func LoadArtifact(path string) (*Prepared, int64, error) { return artifact.Load(path) }
+
+// LoadArtifactVerified is LoadArtifact plus the cross-reference checks that
+// the checksums and structural pass cannot see: edge symmetry with matching
+// probabilities, triangle edges present in the graph, completions closing
+// 4-cliques. It costs more than the enumeration-free fast path and is meant
+// for ingesting artifacts of unknown provenance — the registry's PutArtifact
+// uses it; warm starts from the registry's own directory use LoadArtifact.
+func LoadArtifactVerified(path string) (*Prepared, int64, error) {
+	return artifact.LoadVerified(path)
+}
+
+// ArtifactFormatVersion is the on-disk format version SaveArtifact writes
+// and LoadArtifact accepts.
+const ArtifactFormatVersion = artifact.FormatVersion
+
+// Artifact sentinel errors, matched with errors.Is.
+var (
+	// ErrBadArtifact reports a corrupt, truncated, or invariant-violating
+	// artifact file.
+	ErrBadArtifact = artifact.ErrBadArtifact
+	// ErrArtifactVersion reports an artifact written by an incompatible
+	// format version.
+	ErrArtifactVersion = artifact.ErrArtifactVersion
+)
+
 // Registry is the multi-graph, multi-tenant serving layer over an Engine:
 // named graphs held as prepared artifacts (Put/Get/Delete, versioned on
 // replace), a keyed LRU cache of local decomposition results per
@@ -297,6 +341,14 @@ func WithCacheCapacity(n int) RegistryOption { return registry.WithCacheCapacity
 // DefaultCacheCapacity is the registry's result-LRU bound when
 // WithCacheCapacity is not given.
 const DefaultCacheCapacity = registry.DefaultCacheCapacity
+
+// WithArtifactDir makes the registry durable across restarts: every Put/Add
+// persists the graph's prepared artifact into dir, Delete removes its files,
+// and NewRegistry warm-starts by loading every persisted graph found in dir
+// — no re-enumeration on reboot. See also Registry.PutArtifact (register
+// straight from a file) and Registry.Snapshot (export every graph's artifact
+// to a directory).
+func WithArtifactDir(dir string) RegistryOption { return registry.WithArtifactDir(dir) }
 
 // WithRegistryObserver attaches an observer to the registry's cache events
 // (hits, misses, evictions, coalesced waits). Pass the engine's

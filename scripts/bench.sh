@@ -30,6 +30,13 @@
 #     straight from BENCH_local.json; the kernel noise gate holds the current
 #     run to those numbers (allocs/op within 1.25x always, ns/op within 2x on
 #     multi-iteration runs).
+#   - BenchmarkColdStart rows carry no historical baseline: the comparison is
+#     internal, prepare vs load. The prepare rows enumerate triangles and
+#     4-clique completions from the edge list; the load rows reconstruct the
+#     same Prepared from a persisted artifact (checksums + structural
+#     validation, zero enumeration). The cold-start gate below asserts the
+#     flickr load row is at least 10x faster than its prepare row on
+#     multi-iteration runs.
 #
 # Usage:
 #   scripts/bench.sh                     # full corpus
@@ -37,14 +44,14 @@
 #
 # Environment:
 #   BENCH_PATTERN  go test -bench regexp
-#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended)$')
+#                  (default '^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended|BenchmarkColdStart)$')
 #   BENCHTIME      go test -benchtime      (default 3x)
 #   BENCH_OUT      output JSON path        (default BENCH_local.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended)\$}"
+pattern="${BENCH_PATTERN:-^(BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended|BenchmarkColdStart)\$}"
 benchtime="${BENCHTIME:-3x}"
 out="${BENCH_OUT:-BENCH_local.json}"
 
@@ -132,7 +139,7 @@ BEGIN {
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended\",\n"
+    printf "  \"benchmark\": \"BenchmarkFig4LocalDP|BenchmarkGlobal|BenchmarkWeak|BenchmarkEngineReuse|BenchmarkEngineContended|BenchmarkColdStart\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"baseline_commit\": \"ae2043f (local rows) / bfdd6f3 (global+weak rows)\",\n"
     printf "  \"baseline_note\": \"local: pre-incremental scorer (from-scratch DP, map-based CliqueAdj); global/weak: pre-shared-world engine (per-candidate world resampling, full per-world bucket-queue peels)\",\n"
@@ -253,5 +260,34 @@ END {
         exit 1
     else
         printf "kernel noise gate OK (%d rows within PR 8 baseline)\n", checked
+}
+' "$txt"
+
+# Cold-start gate: loading a persisted artifact must beat re-enumerating the
+# index from edges by at least 10x on the largest corpus graph — that margin
+# is the point of the binary format. Wall-clock only, so the gate fires on
+# multi-iteration runs and is skipped at -benchtime 1x (CI short mode).
+awk -v benchtime="$benchtime" '
+/^BenchmarkColdStart\/flickr\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "ns/op") ns = $i
+    if (ns == "") next
+    if (name ~ /\/prepare$/) prep = ns + 0
+    if (name ~ /\/load$/) load = ns + 0
+}
+END {
+    if (benchtime == "1x" || prep == 0 || load == 0) {
+        print "note: no multi-iteration flickr cold-start rows; cold-start gate skipped"
+        exit 0
+    }
+    ratio = prep / load
+    if (ratio < 10.0) {
+        printf "FAIL cold-start: flickr load %d ns/op is only %.1fx faster than prepare %d ns/op (want >= 10x)\n", load, ratio, prep
+        exit 1
+    }
+    printf "cold-start gate OK (flickr artifact load %.1fx faster than prepare)\n", ratio
 }
 ' "$txt"

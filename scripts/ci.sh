@@ -70,6 +70,16 @@ echo "==> go test -race registry suite (prepared differential, singleflight, chu
 go test -race -count=2 -run 'TestPreparedMatchesPerCall|TestPreparedConcurrentShared|TestPrepareBuildsIndexOnce' ./internal/core
 go test -race -count=2 ./internal/registry
 
+# The persistent-artifact subsystem re-runs under -race alongside the
+# registry it warm-starts: the Save/Load round-trip differential (loaded
+# Prepared byte-identical to the enumerated one across all three semantics,
+# zero index rebuilds), the corruption/truncation matrix over every header,
+# table, and section field, the structural-vs-cross-reference validation
+# tiering, and the fuzz corpus for FuzzLoadArtifact (crafted files must fail
+# typed, never panic or over-allocate).
+echo "==> go test -race artifact suite (round-trip differential, corruption matrix, fuzz corpus)"
+go test -race -count=2 ./internal/artifact
+
 # The fault-tolerance layer's chaos suite gets its own -race pass: randomized
 # injected panics/delays/forced-cancels across all three semantics must never
 # crash the process, leak or double-release a shard, or surface an untyped
