@@ -505,3 +505,65 @@ func TestEncodeRejectsNothingButValidateDoes(t *testing.T) {
 		t.Fatalf("inconsistent parts decoded: %v, want ErrBadArtifact", err)
 	}
 }
+
+// craftedOverrunImage builds a 300-byte artifact for an empty graph
+// (n = m = T = 0) whose sections end at a non-8-aligned file length: after
+// section 5 ends at byte 300, align8 pushes the required offset of section 6
+// to 304 — past the end of the file — while the table offsets and both
+// checked checksum layers stay consistent, so parse reaches section 6 with
+// off > len(data). A subtraction-only overrun guard underflows there and the
+// section slice panics; the guard must reject off itself first.
+func craftedOverrunImage() []byte {
+	le := binary.LittleEndian
+	data := make([]byte, 300)
+	copy(data, magic[:])
+	le.PutUint32(data[8:], FormatVersion)
+	le.PutUint32(data[12:], numSections)
+	le.PutUint64(data[16:], uint64(len(data)))
+	// nVerts = nAdj = nTris = 0: sections 1 and 5 hold one int32 each, the
+	// rest are empty.
+	type row struct{ off, length uint64 }
+	rows := [numSections]row{
+		{288, 4}, // CSR offsets, nVerts+1 = 1
+		{296, 0}, // adjacency
+		{296, 0}, // probabilities
+		{296, 0}, // triangles
+		{296, 4}, // completion offsets, nTris+1 = 1; ends at 300, align8 → 304
+		{304, 0}, // completion flat: off beyond the 300-byte file
+		{304, 0}, // triangle sort
+	}
+	for i, r := range rows {
+		e := data[tableOffset+i*entrySize:]
+		kind := uint32(secOffs + i)
+		le.PutUint32(e[0:], kind)
+		le.PutUint32(e[4:], elemSize(kind))
+		le.PutUint64(e[8:], r.off)
+		le.PutUint64(e[16:], r.length)
+		if r.off+r.length <= uint64(len(data)) {
+			le.PutUint32(e[24:], crc32.Checksum(data[r.off:r.off+r.length], castagnoli))
+		}
+	}
+	le.PutUint32(data[24:], crc32.Checksum(data[tableOffset:sectionsOffset], castagnoli))
+	return data
+}
+
+// TestDecodeSectionPastEOF: regression for an overrun-guard underflow. The
+// crafted image must be rejected with the typed error, not a slice-bounds
+// panic — the never-panic contract of Decode/Load/LoadVerified on untrusted
+// input.
+func TestDecodeSectionPastEOF(t *testing.T) {
+	img := craftedOverrunImage()
+	if _, err := Decode(img); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("section past EOF decoded: %v, want ErrBadArtifact", err)
+	}
+	path := filepath.Join(t.TempDir(), "overrun.pna")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("Load of section-past-EOF file: %v, want ErrBadArtifact", err)
+	}
+	if _, _, err := LoadVerified(path); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("LoadVerified of section-past-EOF file: %v, want ErrBadArtifact", err)
+	}
+}

@@ -34,6 +34,9 @@ func FuzzLoadArtifact(f *testing.F) {
 		mut[i] ^= 0x80
 		f.Add(mut)
 	}
+	// The checksum-consistent section-past-EOF image the fuzzer is unlikely
+	// to synthesize on its own (regression seed for the overrun guard).
+	f.Add(craftedOverrunImage())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pre, err := Decode(data)
 		if err != nil {

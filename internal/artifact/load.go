@@ -107,7 +107,11 @@ func parse(data []byte) (header, [numSections]tableEntry, error) {
 		} else if count != want[i] {
 			return h, secs, badf("section kind %d has %d elements, header implies %d", kind, count, want[i])
 		}
-		if length > uint64(len(data))-off {
+		// off itself can exceed the file when the previous section ends at a
+		// non-8-aligned file length and align8 pushes pos past the end; check
+		// it before the subtraction below, which would otherwise underflow and
+		// let the slice expression panic.
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
 			return h, secs, badf("section kind %d overruns the file", kind)
 		}
 		crc := crc32.Checksum(data[off:off+length], castagnoli)
@@ -417,8 +421,17 @@ func Decode(data []byte) (*core.Prepared, error) {
 // reading and decoding the file. Either way the artifact passes three
 // checksum layers and the linear structural proofs before the Prepared is
 // returned: corrupt input yields an error wrapping ErrBadArtifact or
-// ErrArtifactVersion, never a panic. Files from outside the process's own
-// Save calls should go through LoadVerified instead.
+// ErrArtifactVersion, never a panic.
+//
+// Two lifetime rules come with the zero-copy path. The file must not be
+// modified or truncated while the Prepared is alive — the validation results
+// hold only for the bytes that were checked, and a truncation can fault the
+// mapped pages. And everything reachable from the Prepared (Graph, Index,
+// Edges, and any slice they expose) aliases the mapping, which stays mapped
+// only while the Prepared itself is reachable: keep the Prepared alive for
+// as long as any of those views are in use. Files from outside the
+// process's own Save calls should go through LoadVerified instead, which
+// reads a private copy and is immune to both hazards.
 func Load(path string) (*core.Prepared, int64, error) {
 	return load(path, false)
 }
@@ -429,43 +442,38 @@ func Load(path string) (*core.Prepared, int64, error) {
 // Load suffices for artifacts this deployment wrote itself; LoadVerified is
 // for ingesting a file of unknown provenance, where a well-formed, correctly
 // checksummed artifact could still describe an index inconsistent with its
-// graph and silently skew query results.
+// graph and silently skew query results. Because the file is untrusted,
+// LoadVerified never aliases it: the bytes are read into private memory
+// before any check runs, so a writer racing the load cannot invalidate the
+// verification after the fact, and the returned Prepared is independent of
+// the file.
 func LoadVerified(path string) (*core.Prepared, int64, error) {
 	return load(path, true)
 }
 
 func load(path string, deep bool) (*core.Prepared, int64, error) {
-	validate := func(pt parts, h header) error {
-		if err := validateParts(pt, h); err != nil {
-			return err
-		}
-		if deep {
-			return crossValidateParts(pt, h)
-		}
-		return nil
-	}
-	if m, err := mmapOpen(path); err == nil {
-		size := int64(len(m.data))
-		h, secs, perr := parse(m.data)
-		if perr != nil {
-			m.close()
-			return nil, 0, perr
-		}
-		if hostLittleEndian && triangleAliasable {
+	// The zero-copy alias path is reserved for shallow loads of self-written
+	// files: a deep (unknown-provenance) load that aliased a shared mapping
+	// would let a concurrent writer mutate the bytes after validation,
+	// bypassing every checksum and bounds proof — or SIGBUS the process by
+	// truncating the file. Reading a private copy pins validation and use to
+	// the same immutable bytes.
+	if !deep && hostLittleEndian && triangleAliasable {
+		if m, err := mmapOpen(path); err == nil {
+			size := int64(len(m.data))
+			h, secs, perr := parse(m.data)
+			if perr != nil {
+				m.close()
+				return nil, 0, perr
+			}
 			pt := aliasParts(m.data, secs)
-			if verr := validate(pt, h); verr != nil {
+			if verr := validateParts(pt, h); verr != nil {
 				m.close()
 				return nil, 0, verr
 			}
 			runtime.SetFinalizer(m, (*mapping).close)
 			return assemble(pt, m), size, nil
 		}
-		pt := decodeParts(m.data, secs)
-		m.close()
-		if verr := validate(pt, h); verr != nil {
-			return nil, 0, verr
-		}
-		return assemble(pt, nil), size, nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -476,8 +484,13 @@ func load(path string, deep bool) (*core.Prepared, int64, error) {
 		return nil, 0, err
 	}
 	pt := decodeParts(data, secs)
-	if err := validate(pt, h); err != nil {
+	if err := validateParts(pt, h); err != nil {
 		return nil, 0, err
+	}
+	if deep {
+		if err := crossValidateParts(pt, h); err != nil {
+			return nil, 0, err
+		}
 	}
 	return assemble(pt, nil), int64(len(data)), nil
 }

@@ -10,7 +10,9 @@ import (
 // mapping is a read-only memory mapping of an artifact file. On the
 // zero-copy load path the Prepared's arrays alias m.data, so the mapping
 // object rides along as the Prepared's pin and a finalizer unmaps it when
-// both become unreachable.
+// both become unreachable. The mapping observes concurrent writes to the
+// underlying file, which is why only the trusted Load path aliases it;
+// LoadVerified reads a private copy instead (see load).
 type mapping struct {
 	data []byte
 }

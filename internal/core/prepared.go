@@ -20,6 +20,15 @@ import (
 // from a Prepared never re-enumerate triangles, so they never fire the
 // obs.IndexBuilt counter — which is how the registry's differential tests
 // prove the cached path skips enumeration entirely.
+//
+// Lifetime: on a Prepared loaded zero-copy from an artifact file, the
+// structures handed out by Graph, Index, and Edges alias a memory mapping
+// that stays mapped only while the Prepared itself is reachable — a
+// finalizer unmaps it afterwards. Callers that retain those views beyond a
+// call must keep the Prepared alive for as long as the views are in use
+// (holding it in the same struct, as the registry and MCOptions do, is
+// enough); dropping the Prepared while using a retained Graph or Index can
+// fault on unmapped memory.
 type Prepared struct {
 	pg *probgraph.Graph
 	ti *graph.TriangleIndex
@@ -30,7 +39,9 @@ type Prepared struct {
 	pin any
 }
 
-// Graph returns the probabilistic graph the artifact was prepared from.
+// Graph returns the probabilistic graph the artifact was prepared from. On
+// mmap-loaded artifacts its arrays alias the mapping the Prepared pins —
+// see the Lifetime note on Prepared.
 func (p *Prepared) Graph() *probgraph.Graph { return p.pg }
 
 // Triangles returns the number of indexed triangles.
@@ -40,12 +51,14 @@ func (p *Prepared) Triangles() int { return p.ti.Len() }
 func (p *Prepared) Cliques() int { return p.ti.CliqueCount() }
 
 // Edges returns the canonical probabilistic edge list. The slice is shared
-// with the artifact and must not be mutated.
+// with the artifact and must not be mutated; keep the Prepared reachable
+// while using it (see the Lifetime note on Prepared).
 func (p *Prepared) Edges() []probgraph.ProbEdge { return p.pg.Edges() }
 
 // Index returns the artifact's triangle index. The index is immutable and
 // must not be modified; the accessor exists for serializers
-// (internal/artifact) and read-only consumers.
+// (internal/artifact) and read-only consumers. Keep the Prepared reachable
+// while using it (see the Lifetime note on Prepared).
 func (p *Prepared) Index() *graph.TriangleIndex { return p.ti }
 
 // NewPreparedFromParts assembles a Prepared from an already-built graph and

@@ -151,7 +151,10 @@ func (r *Registry) removeArtifactsLocked(name string, keepVersion int64) {
 // fast structural loader. Like Put it replaces an existing graph under the
 // name, bumping the version and purging cached results, and persists into
 // the artifact dir when one is configured (skipping the copy when path
-// already is the destination file).
+// already is the destination file). Persistence-failure semantics match
+// Put: the registration is live, and its handle is returned together with
+// the error so callers can tell "not registered" from "registered but not
+// durable".
 func (r *Registry) PutArtifact(name, path string) (GraphHandle, error) {
 	if name == "" {
 		return GraphHandle{}, fmt.Errorf("registry: empty graph name")
@@ -176,7 +179,7 @@ func (r *Registry) PutArtifact(name, path string) (GraphHandle, error) {
 	r.mu.Unlock()
 	if r.dir != "" && !samePath(path, filepath.Join(r.dir, artifactFileName(name, ver))) {
 		if err := r.persist(name, g); err != nil {
-			return GraphHandle{}, err
+			return h, err
 		}
 	}
 	return h, nil

@@ -304,3 +304,48 @@ func TestPersistObsCounters(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", s2) // snapshots must be printable/JSON-able shapes
 }
+
+// TestPersistFailureReturnsLiveHandle: when registration succeeds but
+// persisting the artifact fails, Put/Add/PutArtifact return the persistence
+// error together with the live registration's handle — a zero handle means
+// "not registered", a handle with an error means "registered but not
+// durable". The artifact dir here is a regular file, so every MkdirAll in
+// persist fails.
+func TestPersistFailureReturnsLiveHandle(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, _, _ := newTestRegistry(t, WithArtifactDir(blocked))
+	ctx := context.Background()
+
+	h, err := reg.Put(ctx, "a", fixtures.Fig1())
+	if err == nil {
+		t.Fatal("Put persisted into a file-blocked dir")
+	}
+	if h.Version != 1 || h.Name != "a" {
+		t.Fatalf("Put handle alongside persist error = %+v, want live a@1", h)
+	}
+	if got, gerr := reg.Get("a"); gerr != nil || got != h {
+		t.Fatalf("Get after failed persist = %+v (%v), want the returned handle", got, gerr)
+	}
+	if _, err := reg.Local(ctx, "a", core.LocalRequest{Theta: 0.3}); err != nil {
+		t.Fatalf("query against registered-but-not-durable graph: %v", err)
+	}
+
+	if h, err := reg.Add(ctx, "b", fixtures.Fig3cK5()); err == nil || h.Version != 1 || h.Name != "b" {
+		t.Fatalf("Add = %+v (%v), want live b@1 with persist error", h, err)
+	}
+
+	src := filepath.Join(t.TempDir(), "fig1.pna")
+	pre, perr := core.Prepare(fixtures.Fig1(), 1)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if _, err := artifact.Save(src, pre); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := reg.PutArtifact("c", src); err == nil || h.Version != 1 || h.Name != "c" {
+		t.Fatalf("PutArtifact = %+v (%v), want live c@1 with persist error", h, err)
+	}
+}

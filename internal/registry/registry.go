@@ -156,8 +156,10 @@ func New(eng *core.Engine, opts ...Option) *Registry {
 // and its cached results purged, while queries already holding the old
 // artifact finish against it undisturbed. With an artifact dir configured
 // the new version is persisted (and the replaced version's file unlinked)
-// before Put returns; a persistence failure is returned as the error, with
-// the in-memory registration already in effect.
+// before Put returns. A persistence failure is returned as the error with
+// the in-memory registration already in effect — the returned handle is
+// still the live registration's, so callers can distinguish "not
+// registered" (zero handle) from "registered but not durable".
 func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (GraphHandle, error) {
 	if name == "" {
 		return GraphHandle{}, fmt.Errorf("registry: empty graph name")
@@ -178,7 +180,7 @@ func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (G
 	r.mu.Unlock()
 	if r.dir != "" {
 		if err := r.persist(name, g); err != nil {
-			return GraphHandle{}, err
+			return h, err
 		}
 	}
 	return h, nil
@@ -187,6 +189,8 @@ func (r *Registry) Put(ctx context.Context, name string, pg *probgraph.Graph) (G
 // Add registers pg under a fresh name, failing with ErrDuplicateGraph when
 // the name is taken — the create-only counterpart of Put for callers that
 // must not silently replace a tenant's graph (the server's POST /graphs).
+// Persistence-failure semantics match Put: the registration is live, and
+// its handle is returned together with the error.
 func (r *Registry) Add(ctx context.Context, name string, pg *probgraph.Graph) (GraphHandle, error) {
 	if name == "" {
 		return GraphHandle{}, fmt.Errorf("registry: empty graph name")
@@ -213,7 +217,7 @@ func (r *Registry) Add(ctx context.Context, name string, pg *probgraph.Graph) (G
 	r.mu.Unlock()
 	if r.dir != "" {
 		if err := r.persist(name, g); err != nil {
-			return GraphHandle{}, err
+			return h, err
 		}
 	}
 	return h, nil

@@ -288,8 +288,11 @@ func SaveArtifact(path string, pre *Prepared) (int64, error) { return artifact.S
 // file size. Every load verifies checksums and structural invariants:
 // corrupt or truncated files fail with an error matching ErrBadArtifact, and
 // files from a different format version with ErrArtifactVersion — never a
-// panic. For a file this deployment did not write itself, use
-// LoadArtifactVerified.
+// panic. On the zero-copy path the file must not be modified or truncated
+// while the Prepared is alive, and anything obtained through the Prepared's
+// accessors aliases the mapping: keep the Prepared reachable for as long as
+// those views are in use. For a file this deployment did not write itself,
+// use LoadArtifactVerified.
 func LoadArtifact(path string) (*Prepared, int64, error) { return artifact.Load(path) }
 
 // LoadArtifactVerified is LoadArtifact plus the cross-reference checks that
@@ -298,6 +301,9 @@ func LoadArtifact(path string) (*Prepared, int64, error) { return artifact.Load(
 // 4-cliques. It costs more than the enumeration-free fast path and is meant
 // for ingesting artifacts of unknown provenance — the registry's PutArtifact
 // uses it; warm starts from the registry's own directory use LoadArtifact.
+// Because the file is untrusted it is read into private memory rather than
+// memory-mapped, so the returned Prepared is independent of the file and a
+// writer racing the load cannot invalidate the verification.
 func LoadArtifactVerified(path string) (*Prepared, int64, error) {
 	return artifact.LoadVerified(path)
 }
